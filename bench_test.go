@@ -1,0 +1,236 @@
+// bench_test.go provides one testing.B benchmark per table and figure of
+// the paper's evaluation, plus ingest-throughput benchmarks for every
+// sketch. The figure benchmarks run the corresponding experiment at a
+// reduced scale and report its headline numbers via b.ReportMetric, so
+//
+//	go test -bench=Fig -benchmem
+//
+// regenerates the whole evaluation in miniature; use cmd/fcmbench for the
+// full-size tables.
+package fcm_test
+
+import (
+	"encoding/binary"
+	"strconv"
+	"testing"
+
+	"github.com/fcmsketch/fcm"
+	"github.com/fcmsketch/fcm/internal/cmsketch"
+	"github.com/fcmsketch/fcm/internal/elastic"
+	"github.com/fcmsketch/fcm/internal/exp"
+	"github.com/fcmsketch/fcm/internal/trace"
+	"github.com/fcmsketch/fcm/internal/univmon"
+)
+
+// benchOptions is the reduced scale used by the figure benchmarks.
+func benchOptions() exp.Options {
+	return exp.Options{Scale: 0.01, Seed: 1, EMIterations: 3}
+}
+
+// runExperiment executes one experiment per benchmark iteration and
+// reports a metric extracted from its first table.
+func runExperiment(b *testing.B, id string, metric func(tables []*exp.Table) (string, float64)) {
+	b.Helper()
+	e, err := exp.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var name string
+	var value float64
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metric != nil {
+			name, value = metric(tables)
+		}
+	}
+	if name != "" {
+		b.ReportMetric(value, name)
+	}
+}
+
+// cell parses a numeric table cell.
+func cell(b *testing.B, t *exp.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell %d,%d of %s: %v", row, col, t.ID, err)
+	}
+	return v
+}
+
+func BenchmarkFig6DataPlaneQueries(b *testing.B) {
+	runExperiment(b, "fig6", func(ts []*exp.Table) (string, float64) {
+		// ARE of the 8-ary FCM (row k=8, column FCM).
+		return "fcm8_ARE", cell(b, ts[0], 2, 4)
+	})
+}
+
+func BenchmarkFig7ControlPlaneQueries(b *testing.B) {
+	runExperiment(b, "fig7", func(ts []*exp.Table) (string, float64) {
+		return "fcm8_WMRE", cell(b, ts[0], 2, 2)
+	})
+}
+
+func BenchmarkFig8DegreeHistogram(b *testing.B) {
+	runExperiment(b, "fig8", func(ts []*exp.Table) (string, float64) {
+		return "deg1_counters", cell(b, ts[0], 0, 3)
+	})
+}
+
+func BenchmarkFig9EM(b *testing.B) {
+	runExperiment(b, "fig9", func(ts []*exp.Table) (string, float64) {
+		return "fcm_m_sec_per_iter", cell(b, ts[0], 2, 1)
+	})
+}
+
+func BenchmarkFig10ZipfFlowSize(b *testing.B) {
+	runExperiment(b, "fig10", func(ts []*exp.Table) (string, float64) {
+		// Normalized ARE of FCM8 at alpha=1.1 (row 2, first alpha column).
+		return "fcm8_norm_ARE", cell(b, ts[0], 2, 1)
+	})
+}
+
+func BenchmarkFig11ZipfFSD(b *testing.B) {
+	runExperiment(b, "fig11", func(ts []*exp.Table) (string, float64) {
+		return "fcm8_norm_WMRE", cell(b, ts[0], 2, 1)
+	})
+}
+
+func BenchmarkTable3Trees(b *testing.B) {
+	runExperiment(b, "table3", func(ts []*exp.Table) (string, float64) {
+		// FCM with 2 trees: ARE column.
+		return "fcm_2trees_ARE", cell(b, ts[0], 0, 2)
+	})
+}
+
+func BenchmarkFig12MemorySweep(b *testing.B) {
+	runExperiment(b, "fig12", func(ts []*exp.Table) (string, float64) {
+		// ARE at the 1.5MB point (row 2), FCM column.
+		return "fcm_ARE_1.5MB", cell(b, ts[0], 2, 1)
+	})
+}
+
+func BenchmarkFig13SoftwareVsTofino(b *testing.B) {
+	runExperiment(b, "fig13", func(ts []*exp.Table) (string, float64) {
+		return "fcm_hw_ARE", cell(b, ts[0], 1, 2)
+	})
+}
+
+func BenchmarkFig14HardwareComparison(b *testing.B) {
+	runExperiment(b, "fig14", func(ts []*exp.Table) (string, float64) {
+		// AAE table: CM(2)+TopK row 2 normalized against FCM row 0.
+		return "cm2_over_fcm_AAE", cell(b, ts[1], 2, 1) / cell(b, ts[1], 0, 1)
+	})
+}
+
+func BenchmarkTable4Resources(b *testing.B) {
+	runExperiment(b, "table4", nil)
+}
+
+func BenchmarkTable5Comparison(b *testing.B) {
+	runExperiment(b, "table5", nil)
+}
+
+func BenchmarkAppCTCAM(b *testing.B) {
+	runExperiment(b, "appc", func(ts []*exp.Table) (string, float64) {
+		return "tcam_max_extra_RE", cell(b, ts[0], 3, 1)
+	})
+}
+
+func BenchmarkThm51Bound(b *testing.B) {
+	runExperiment(b, "thm51", func(ts []*exp.Table) (string, float64) {
+		return "violation_fraction", cell(b, ts[0], 6, 1)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Ingest throughput: packets/second for every structure on the same trace
+// (the accuracy–complexity trade-off discussion of §8.3).
+// ---------------------------------------------------------------------------
+
+// benchTrace is shared across the throughput benchmarks.
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	tr, err := trace.CAIDALike(200_000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func benchIngest(b *testing.B, u interface{ Update([]byte, uint64) }) {
+	b.Helper()
+	tr := benchTrace(b)
+	keys := make([][]byte, tr.NumFlows())
+	for i := range tr.Keys {
+		keys[i] = tr.Keys[i].Bytes()
+	}
+	order := tr.Order
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Update(keys[order[i%len(order)]], 1)
+	}
+}
+
+func BenchmarkIngestFCM(b *testing.B) {
+	s, err := fcm.NewSketch(fcm.Config{MemoryBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchIngest(b, s)
+}
+
+func BenchmarkIngestFCMTopK(b *testing.B) {
+	s, err := fcm.NewTopK(fcm.TopKConfig{Config: fcm.Config{MemoryBytes: 1 << 20}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchIngest(b, s)
+}
+
+func BenchmarkIngestCM(b *testing.B) {
+	s, err := cmsketch.New(cmsketch.Config{MemoryBytes: 1 << 20, Rows: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchIngest(b, s)
+}
+
+func BenchmarkIngestElastic(b *testing.B) {
+	s, err := elastic.New(elastic.Config{MemoryBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchIngest(b, s)
+}
+
+func BenchmarkIngestUnivMon(b *testing.B) {
+	s, err := univmon.New(univmon.Config{MemoryBytes: 1 << 20, Levels: 16, HeapSize: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchIngest(b, s)
+}
+
+// BenchmarkEstimateFCMvsCM compares query latency.
+func BenchmarkEstimateFCM(b *testing.B) {
+	s, err := fcm.NewSketch(fcm.Config{MemoryBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var key [4]byte
+	for i := 0; i < 200_000; i++ {
+		binary.BigEndian.PutUint32(key[:], uint32(i%50_000))
+		s.Update(key[:], 1)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint32(key[:], uint32(i%50_000))
+		sink += s.Estimate(key[:])
+	}
+	_ = sink
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/exp"
+)
+
+func TestWriteCSV(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "csv")
+	tab := &exp.Table{ID: "demo", Headers: []string{"a", "b"}}
+	tab.AddRow("x", 1.5)
+	if err := writeCSV(dir, tab); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "demo.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.Contains(got, "a,b") || !strings.Contains(got, "x,1.5") {
+		t.Errorf("csv contents:\n%s", got)
+	}
+}
+
+func TestWriteCSVBadDir(t *testing.T) {
+	// A file where the directory should be must fail.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tab := &exp.Table{ID: "demo", Headers: []string{"a"}}
+	if err := writeCSV(f, tab); err == nil {
+		t.Error("expected mkdir error")
+	}
+}

@@ -1,0 +1,88 @@
+// Command fcmctl is the control-plane collector: it dials a running
+// fcmswitch, pulls the FCM-Sketch registers in batch, converts them to
+// virtual counters and runs the EM estimator — printing cardinality, the
+// estimated flow-size distribution head, and entropy (§4).
+//
+// Usage:
+//
+//	fcmctl -connect 127.0.0.1:9401
+//	fcmctl -connect 127.0.0.1:9401 -iters 10 -reset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"github.com/fcmsketch/fcm"
+	"github.com/fcmsketch/fcm/internal/collect"
+	"github.com/fcmsketch/fcm/internal/em"
+)
+
+func main() {
+	var (
+		addr    = flag.String("connect", "127.0.0.1:9401", "fcmswitch collection address")
+		iters   = flag.Int("iters", 5, "EM iterations")
+		workers = flag.Int("workers", 0, "EM worker goroutines (0 = all cores)")
+		reset   = flag.Bool("reset", false, "reset the data plane after collecting (window rotation)")
+		head    = flag.Int("head", 10, "print the first N sizes of the estimated distribution")
+	)
+	flag.Parse()
+
+	cl, err := collect.Dial(*addr, 5*time.Second)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer cl.Close()
+
+	start := time.Now()
+	snap, err := cl.ReadSketch()
+	if err != nil {
+		fatalf("reading sketch: %v", err)
+	}
+	fmt.Printf("collected %d-tree %d-ary sketch (w1=%d) in %s\n",
+		snap.Trees, snap.K, snap.W1, time.Since(start).Round(time.Millisecond))
+
+	sk, err := snap.Restore(nil)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("cardinality (linear counting): %.0f\n", sk.Cardinality())
+
+	vcs := sk.VirtualCounters()
+	start = time.Now()
+	res, err := em.Run(em.Config{
+		W1:         snap.W1,
+		Theta1:     sk.StageMax(0),
+		Iterations: *iters,
+		Workers:    *workers,
+	}, vcs)
+	if err != nil {
+		fatalf("EM: %v", err)
+	}
+	fmt.Printf("EM (%d iterations) in %s: %.0f flows estimated\n",
+		res.Iterations, time.Since(start).Round(time.Millisecond), res.N)
+
+	fmt.Println("flow size distribution (head):")
+	for size := 1; size <= *head && size < len(res.Dist); size++ {
+		fmt.Printf("  size %3d: %10.1f flows\n", size, res.Dist[size])
+	}
+	h := fcm.EntropyOf(res.Dist)
+	if !math.IsNaN(h) {
+		fmt.Printf("entropy estimate: %.4f bits\n", h)
+	}
+
+	if *reset {
+		if err := cl.ResetSketch(); err != nil {
+			fatalf("reset: %v", err)
+		}
+		fmt.Println("data plane reset for the next window")
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fcmctl: "+format+"\n", args...)
+	os.Exit(1)
+}

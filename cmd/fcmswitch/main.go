@@ -1,0 +1,154 @@
+// Command fcmswitch runs the simulated PISA switch: it replays a trace
+// through the compiled FCM data plane, prints the pipeline's resource
+// allocation, and serves the sketch registers over TCP for a control-plane
+// collector (see cmd/fcmctl for the collector side).
+//
+// Usage:
+//
+//	fcmswitch -pcap trace.pcap -listen 127.0.0.1:9401
+//	fcmswitch -packets 1000000 -program fcm+topk -mem 1300000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+
+	"github.com/fcmsketch/fcm/internal/collect"
+	"github.com/fcmsketch/fcm/internal/packet"
+	"github.com/fcmsketch/fcm/internal/pisa"
+	"github.com/fcmsketch/fcm/internal/trace"
+)
+
+func main() {
+	var (
+		pcapPath = flag.String("pcap", "", "replay this pcap file (otherwise synthesize)")
+		packets  = flag.Int("packets", 1_000_000, "synthetic packet count when no pcap is given")
+		seed     = flag.Int64("seed", 1, "synthetic trace seed")
+		program  = flag.String("program", "fcm", "data plane: fcm | fcm+topk | cm+topk")
+		mem      = flag.Int("mem", 1_300_000, "sketch memory in bytes (paper hardware: 1.3MB)")
+		listen   = flag.String("listen", "", "serve sketch registers on this TCP address")
+		hhThresh = flag.Uint64("hh", 0, "print heavy hitters at this threshold (TopK programs)")
+		emitP4   = flag.Bool("emit-p4", false, "print the generated P4 program for the FCM geometry and exit")
+	)
+	flag.Parse()
+
+	var prog pisa.Program
+	switch *program {
+	case "fcm":
+		prog = pisa.ProgramFCM
+	case "fcm+topk":
+		prog = pisa.ProgramFCMTopK
+	case "cm+topk":
+		prog = pisa.ProgramCMTopK
+	default:
+		fatalf("unknown program %q", *program)
+	}
+
+	sw, err := pisa.NewSwitch(pisa.SwitchConfig{Program: prog, MemoryBytes: *mem})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *emitP4 {
+		if sw.Sketch() == nil {
+			fatalf("-emit-p4 requires an FCM program")
+		}
+		src, err := pisa.GenerateP4(pisa.FCMGeometry{
+			Trees:     sw.Sketch().NumTrees(),
+			K:         sw.Sketch().K(),
+			LeafWidth: sw.Sketch().LeafWidth(),
+			Widths:    sw.Sketch().Widths(),
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(src)
+		return
+	}
+	printAllocation(sw.Allocation())
+
+	tr, err := loadTrace(*pcapPath, *packets, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("replaying %d packets / %d flows through %s...\n",
+		tr.NumPackets(), tr.NumFlows(), sw.Allocation().Name)
+
+	var srv *collect.Server
+	if *listen != "" && sw.Sketch() != nil {
+		srv, err = collect.NewServer(*listen, sw.Sketch())
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("serving registers on %s\n", srv.Addr())
+	}
+
+	tr.ForEachPacket(func(_ int, key []byte) {
+		if srv != nil {
+			srv.Lock()
+			sw.Update(key, 1)
+			srv.Unlock()
+		} else {
+			sw.Update(key, 1)
+		}
+	})
+	fmt.Println("replay done")
+
+	if card, err := sw.Cardinality(); err == nil {
+		fmt.Printf("data-plane cardinality (TCAM): %.0f (true %d)\n", card, tr.NumFlows())
+	}
+	if *hhThresh > 0 {
+		hh := sw.HeavyHitters(*hhThresh)
+		fmt.Printf("heavy hitters ≥ %d: %d flows\n", *hhThresh, len(hh))
+	}
+
+	if srv != nil {
+		fmt.Println("replay complete; serving until SIGINT/SIGTERM")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		srv.Close() //nolint:errcheck // exiting anyway
+	}
+}
+
+// loadTrace reads a pcap or synthesizes a CAIDA-like trace.
+func loadTrace(path string, packets int, seed int64) (*trace.Trace, error) {
+	if path == "" {
+		return trace.CAIDALike(packets, seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, skipped, err := trace.ReadPcap(f, packet.KeySrcIP)
+	if err != nil {
+		return nil, err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "warning: skipped %d unparseable frames\n", skipped)
+	}
+	return tr, nil
+}
+
+// printAllocation renders the compiled pipeline placement.
+func printAllocation(a *pisa.Allocation) {
+	fmt.Printf("%s compiled to %d physical stages\n", a.Name, a.NumStages())
+	u := a.Utilization()
+	names := make([]string, 0, len(u))
+	for n := range u {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-14s %6.2f%%\n", n, u[n]*100)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fcmswitch: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/pisa"
+	"github.com/fcmsketch/fcm/internal/trace"
+)
+
+func TestLoadTraceSynthetic(t *testing.T) {
+	tr, err := loadTrace("", 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPackets() < 9000 {
+		t.Errorf("packets %d", tr.NumPackets())
+	}
+}
+
+func TestLoadTracePcap(t *testing.T) {
+	src, err := trace.CAIDALike(5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.WritePcap(f, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tr, err := loadTrace(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPackets() != src.NumPackets() {
+		t.Errorf("packets %d want %d", tr.NumPackets(), src.NumPackets())
+	}
+	if _, err := loadTrace(filepath.Join(t.TempDir(), "missing"), 0, 0); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestPrintAllocation(t *testing.T) {
+	sw, err := pisa.NewSwitch(pisa.SwitchConfig{Program: pisa.ProgramFCM, MemoryBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// printAllocation writes to stdout; just make sure it doesn't panic
+	// and the allocation is sane.
+	if sw.Allocation().NumStages() != 4 {
+		t.Errorf("stages %d", sw.Allocation().NumStages())
+	}
+	printAllocation(sw.Allocation())
+}

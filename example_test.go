@@ -1,0 +1,75 @@
+package fcm_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/fcmsketch/fcm"
+)
+
+// ExampleSketch demonstrates the data-plane queries: count estimation,
+// the heavy-hitter check and cardinality.
+func ExampleSketch() {
+	sk, err := fcm.NewSketch(fcm.Config{LeafWidth: 8192, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sk.Update([]byte("10.0.0.1"), 12000) // an elephant
+	sk.Update([]byte("10.0.0.2"), 3)     // a mouse
+
+	fmt.Println("elephant:", sk.Estimate([]byte("10.0.0.1")))
+	fmt.Println("mouse:", sk.Estimate([]byte("10.0.0.2")))
+	fmt.Println("heavy at 10K:", sk.IsHeavyHitter([]byte("10.0.0.1"), 10000))
+	// Output:
+	// elephant: 12000
+	// mouse: 3
+	// heavy at 10K: true
+}
+
+// ExampleTopKSketch shows FCM+TopK enumerating its heavy hitters, which a
+// plain sketch cannot do.
+func ExampleTopKSketch() {
+	tk, err := fcm.NewTopK(fcm.TopKConfig{
+		Config:      fcm.Config{LeafWidth: 4096, Seed: 1},
+		TopKEntries: 128,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tk.Update([]byte("big"), 5000)
+	for i := 0; i < 100; i++ {
+		tk.Update([]byte{byte(i)}, 1)
+	}
+	hh := tk.HeavyHitters(1000)
+	fmt.Println("heavy hitters:", len(hh), "count:", hh["big"])
+	// Output:
+	// heavy hitters: 1 count: 5000
+}
+
+// ExampleFramework shows windowed measurement with heavy-change detection.
+func ExampleFramework() {
+	fw, err := fcm.NewFramework(fcm.Config{LeafWidth: 4096, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw.Update([]byte("flowA"), 100)
+	fw.Rotate()
+	fw.Update([]byte("flowA"), 900) // 9x burst
+
+	changes, err := fw.HeavyChanges([][]byte{[]byte("flowA")}, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d change, delta %+d\n", len(changes), changes[0].Delta())
+	// Output:
+	// 1 change, delta +800
+}
+
+// ExampleEntropyOf computes flow entropy from a size distribution.
+func ExampleEntropyOf() {
+	// Four flows of one packet each: two bits of entropy.
+	dist := []float64{0, 4}
+	fmt.Printf("%.1f bits\n", fcm.EntropyOf(dist))
+	// Output:
+	// 2.0 bits
+}

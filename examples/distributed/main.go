@@ -1,0 +1,94 @@
+// Network-wide monitoring: three simulated switches sketch disjoint parts
+// of the traffic with identically-configured FCM-Sketches; the control
+// plane collects their register snapshots over TCP, merges them exactly
+// (merge ≡ sketching the union of the streams), and answers global queries
+// — per-flow counts across paths, total cardinality, and the network-wide
+// flow-size distribution via EM.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/fcmsketch/fcm"
+	"github.com/fcmsketch/fcm/internal/collect"
+	"github.com/fcmsketch/fcm/internal/hashing"
+	"github.com/fcmsketch/fcm/internal/trace"
+)
+
+func main() {
+	cfg := fcm.Config{MemoryBytes: 256 << 10, Seed: 99}
+
+	// One trace split across three switches (e.g. ECMP paths).
+	tr, err := trace.CAIDALike(600_000, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const switches = 3
+	sketches := make([]*fcm.Sketch, switches)
+	servers := make([]*collect.Server, switches)
+	for i := range sketches {
+		sk, err := fcm.NewSketch(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sketches[i] = sk
+		srv, err := collect.NewServer("127.0.0.1:0", sk.Core())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		servers[i] = srv
+	}
+
+	// Packets hash-spread across switches (each packet seen once).
+	i := 0
+	tr.ForEachPacket(func(_ int, key []byte) {
+		sketches[i%switches].Update(key, 1)
+		i++
+	})
+	fmt.Printf("replayed %d packets across %d switches\n", tr.NumPackets(), switches)
+
+	// Control plane: collect every switch over TCP and merge.
+	global, err := fcm.NewSketch(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, srv := range servers {
+		cl, err := collect.Dial(srv.Addr(), time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap, err := cl.ReadSketch()
+		cl.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		remote, err := snap.Restore(hashing.NewBobFamily(0xfc3141 ^ cfg.Seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := global.Core().Merge(remote); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("collected and merged switch %d (%s)\n", i, srv.Addr())
+	}
+
+	// Global queries on the merged sketch.
+	topKey := tr.Keys[0]
+	fmt.Printf("\nglobal count of the top flow %s: %d (true %d)\n",
+		topKey, global.Estimate(topKey.Bytes()), tr.Sizes[0])
+	fmt.Printf("global cardinality: %.0f (true %d)\n", global.Cardinality(), tr.NumFlows())
+
+	dist, err := global.FlowSizeDistribution(&fcm.EMOptions{Iterations: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("network-wide flow size distribution (head):")
+	for size := 1; size <= 4; size++ {
+		fmt.Printf("  size %d: %.0f flows\n", size, dist[size])
+	}
+}

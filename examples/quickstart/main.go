@@ -1,0 +1,77 @@
+// Quickstart: build an FCM-Sketch, feed it a skewed flow mix, and run every
+// data-plane query (flow size, heavy-hitter check, cardinality) plus the
+// control-plane flow-size distribution and entropy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/fcmsketch/fcm"
+)
+
+func flowKey(id uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], id)
+	return b[:]
+}
+
+func main() {
+	// A sketch with the paper's defaults: two 8-ary trees of 8/16/32-bit
+	// counters, sized to 256KB.
+	sk, err := fcm.NewSketch(fcm.Config{MemoryBytes: 256 << 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate skewed traffic: 10 elephants of ~50K packets, 50K mice.
+	rng := rand.New(rand.NewSource(42))
+	truth := make(map[uint32]uint64)
+	for flow := uint32(0); flow < 10; flow++ {
+		n := uint64(40_000 + rng.Intn(20_000))
+		sk.Update(flowKey(flow), n)
+		truth[flow] = n
+	}
+	for flow := uint32(1000); flow < 51_000; flow++ {
+		n := uint64(1 + rng.Intn(4))
+		sk.Update(flowKey(flow), n)
+		truth[flow] = n
+	}
+
+	fmt.Println("== data-plane queries ==")
+	for flow := uint32(0); flow < 3; flow++ {
+		fmt.Printf("flow %d: estimated %d (true %d)\n",
+			flow, sk.Estimate(flowKey(flow)), truth[flow])
+	}
+	fmt.Printf("flow 1000 (mouse): estimated %d (true %d)\n",
+		sk.Estimate(flowKey(1000)), truth[1000])
+	fmt.Printf("is flow 0 a heavy hitter at 10K? %v\n",
+		sk.IsHeavyHitter(flowKey(0), 10_000))
+	fmt.Printf("cardinality: %.0f (true %d)\n", sk.Cardinality(), len(truth))
+
+	fmt.Println("\n== control-plane queries (EM) ==")
+	dist, err := sk.FlowSizeDistribution(&fcm.EMOptions{Iterations: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for size := 1; size <= 4; size++ {
+		fmt.Printf("flows of size %d: estimated %.0f\n", size, dist[size])
+	}
+	fmt.Printf("entropy: %.3f bits\n", fcm.EntropyOf(dist))
+
+	// FCM+TopK pins heavy flows exactly and can enumerate them.
+	fmt.Println("\n== FCM+TopK ==")
+	tk, err := fcm.NewTopK(fcm.TopKConfig{Config: fcm.Config{MemoryBytes: 256 << 10}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for flow, n := range truth {
+		tk.Update(flowKey(flow), n)
+	}
+	hh := tk.HeavyHitters(10_000)
+	fmt.Printf("heavy hitters ≥ 10K: %d flows (true 10)\n", len(hh))
+}

@@ -1,0 +1,143 @@
+package fcm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Framework is the full FCM measurement framework of Fig. 1: an FCM-Sketch
+// in the "data plane" plus the control-plane algorithms — flow size
+// distribution (EM), entropy, and heavy-change detection across adjacent
+// measurement windows.
+//
+// Updates go to the current window's sketch. Rotate closes the window and
+// keeps it as the previous window, so heavy changes can be detected by
+// comparing count queries across the two (§4.4).
+type Framework struct {
+	cfg  Config
+	cur  *Sketch
+	prev *Sketch
+	// windowPackets counts packets in the current window; needed by the
+	// entropy estimator and exposed for monitoring.
+	windowPackets uint64
+	prevPackets   uint64
+}
+
+// NewFramework builds a framework with double-buffered sketches.
+func NewFramework(cfg Config) (*Framework, error) {
+	cur, err := NewSketch(cfg)
+	if err != nil {
+		return nil, err
+	}
+	prev, err := NewSketch(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{cfg: cur.Config(), cur: cur, prev: prev}, nil
+}
+
+// Update records inc occurrences of key in the current window.
+func (f *Framework) Update(key []byte, inc uint64) {
+	f.cur.Update(key, inc)
+	f.windowPackets += inc
+}
+
+// Rotate closes the current window: the current sketch becomes the
+// previous one and a cleared sketch starts the next window.
+func (f *Framework) Rotate() {
+	f.prev, f.cur = f.cur, f.prev
+	f.cur.Reset()
+	f.prevPackets = f.windowPackets
+	f.windowPackets = 0
+}
+
+// Estimate returns the current window's count estimate for key.
+func (f *Framework) Estimate(key []byte) uint64 { return f.cur.Estimate(key) }
+
+// PreviousEstimate returns the previous window's count estimate for key.
+func (f *Framework) PreviousEstimate(key []byte) uint64 { return f.prev.Estimate(key) }
+
+// Cardinality estimates the current window's distinct flows.
+func (f *Framework) Cardinality() float64 { return f.cur.Cardinality() }
+
+// WindowPackets returns the number of packets recorded in the current
+// window.
+func (f *Framework) WindowPackets() uint64 { return f.windowPackets }
+
+// Sketch returns the current window's sketch.
+func (f *Framework) Sketch() *Sketch { return f.cur }
+
+// FlowSizeDistribution estimates the current window's flow-size
+// distribution with EM (§4.2).
+func (f *Framework) FlowSizeDistribution(opt *EMOptions) ([]float64, error) {
+	return f.cur.FlowSizeDistribution(opt)
+}
+
+// Entropy estimates the current window's flow entropy from the EM
+// distribution: H = −Σ_k n_k·(k/m)·log2(k/m) (§4.4).
+func (f *Framework) Entropy(opt *EMOptions) (float64, error) {
+	dist, err := f.FlowSizeDistribution(opt)
+	if err != nil {
+		return 0, err
+	}
+	return EntropyOf(dist), nil
+}
+
+// EntropyOf computes flow entropy from a flow-size distribution, where
+// dist[k] is the number of flows of size k.
+func EntropyOf(dist []float64) float64 {
+	m := 0.0
+	for k := 1; k < len(dist); k++ {
+		m += float64(k) * dist[k]
+	}
+	if m == 0 {
+		return 0
+	}
+	h := 0.0
+	for k := 1; k < len(dist); k++ {
+		if dist[k] <= 0 {
+			continue
+		}
+		p := float64(k) / m
+		h -= dist[k] * p * math.Log2(p)
+	}
+	return h
+}
+
+// HeavyChange describes one detected heavy change (§4.4).
+type HeavyChange struct {
+	// Key is the flow key.
+	Key string
+	// Previous and Current are the two windows' count estimates.
+	Previous, Current uint64
+}
+
+// Delta returns the signed change Current−Previous.
+func (h HeavyChange) Delta() int64 { return int64(h.Current) - int64(h.Previous) }
+
+// HeavyChanges compares candidate flows across the previous and current
+// windows and returns those whose estimates changed by at least threshold.
+// Per §4.4, a flow whose size changed by ≥ threshold must exceed the
+// threshold in at least one window, so candidates are typically the union
+// of both windows' heavy hitters.
+func (f *Framework) HeavyChanges(candidates [][]byte, threshold uint64) ([]HeavyChange, error) {
+	if threshold == 0 {
+		return nil, fmt.Errorf("fcm: heavy-change threshold must be positive")
+	}
+	var out []HeavyChange
+	seen := make(map[string]bool, len(candidates))
+	for _, k := range candidates {
+		ks := string(k)
+		if seen[ks] {
+			continue
+		}
+		seen[ks] = true
+		prev := f.prev.Estimate(k)
+		cur := f.cur.Estimate(k)
+		d := int64(cur) - int64(prev)
+		if d >= int64(threshold) || -d >= int64(threshold) {
+			out = append(out, HeavyChange{Key: ks, Previous: prev, Current: cur})
+		}
+	}
+	return out, nil
+}

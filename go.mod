@@ -1,0 +1,3 @@
+module github.com/fcmsketch/fcm
+
+go 1.22

@@ -1,0 +1,156 @@
+// Package cmsketch implements the Count-Min sketch (Cormode &
+// Muthukrishnan [22]) and its Conservative-Update variant (CU, Estan &
+// Varghese [26]) — the primary baselines of the FCM paper. Counters are
+// 32-bit, rows are chosen by independent hash functions, matching §7.1's
+// implementation notes (3 rows of 32-bit counters by default).
+package cmsketch
+
+import (
+	"fmt"
+
+	"github.com/fcmsketch/fcm/internal/hashing"
+)
+
+// Sketch is a d×w Count-Min sketch.
+type Sketch struct {
+	rows    [][]uint32
+	hashers []hashing.Hasher
+	w       int
+	max     uint32 // counter saturation value (2^bits − 1)
+	bits    int
+	// conservative enables CU updates: only the minimal counters are
+	// incremented, which keeps the one-sided error but reduces it.
+	conservative bool
+}
+
+// Config parameterizes the sketch.
+type Config struct {
+	// MemoryBytes is the total counter budget; the per-row width is
+	// MemoryBytes·8/(Bits·Rows).
+	MemoryBytes int
+	// Rows is the number of counter arrays d (the paper uses 3).
+	Rows int
+	// Bits is the counter width (8, 16 or 32; default 32). ElasticSketch's
+	// light part uses 8-bit counters that saturate.
+	Bits int
+	// Conservative selects CU update semantics.
+	Conservative bool
+	// Hash provides the d independent hash functions; nil selects BobHash
+	// with a fixed seed.
+	Hash hashing.Family
+}
+
+// New builds a Count-Min (or CU) sketch from cfg.
+func New(cfg Config) (*Sketch, error) {
+	if cfg.Rows <= 0 {
+		return nil, fmt.Errorf("cmsketch: Rows must be positive, got %d", cfg.Rows)
+	}
+	bits := cfg.Bits
+	if bits == 0 {
+		bits = 32
+	}
+	switch bits {
+	case 8, 16, 32:
+	default:
+		return nil, fmt.Errorf("cmsketch: Bits must be 8, 16 or 32, got %d", bits)
+	}
+	w := cfg.MemoryBytes * 8 / (bits * cfg.Rows)
+	if w < 1 {
+		return nil, fmt.Errorf("cmsketch: memory %dB too small for %d rows", cfg.MemoryBytes, cfg.Rows)
+	}
+	fam := cfg.Hash
+	if fam == nil {
+		fam = hashing.NewBobFamily(0x5ca1ab1e)
+	}
+	max := uint32(0xffffffff)
+	if bits < 32 {
+		max = 1<<uint(bits) - 1
+	}
+	s := &Sketch{w: w, max: max, bits: bits, conservative: cfg.Conservative}
+	for i := 0; i < cfg.Rows; i++ {
+		s.rows = append(s.rows, make([]uint32, w))
+		s.hashers = append(s.hashers, fam.New(i))
+	}
+	return s, nil
+}
+
+// Update implements sketch.Updater.
+func (s *Sketch) Update(key []byte, inc uint64) {
+	if s.conservative {
+		s.updateConservative(key, inc)
+		return
+	}
+	for r, row := range s.rows {
+		i := hashing.Reduce(s.hashers[r].Hash(key), s.w)
+		row[i] = satAdd(row[i], inc, s.max)
+	}
+}
+
+// updateConservative raises each counter only up to min+inc, the CU rule.
+func (s *Sketch) updateConservative(key []byte, inc uint64) {
+	var idx [16]int
+	n := len(s.rows)
+	min := s.max
+	for r := 0; r < n; r++ {
+		i := hashing.Reduce(s.hashers[r].Hash(key), s.w)
+		idx[r] = i
+		if v := s.rows[r][i]; v < min {
+			min = v
+		}
+	}
+	target := satAdd(min, inc, s.max)
+	for r := 0; r < n; r++ {
+		if s.rows[r][idx[r]] < target {
+			s.rows[r][idx[r]] = target
+		}
+	}
+}
+
+// Estimate implements sketch.Estimator: the minimum over rows.
+func (s *Sketch) Estimate(key []byte) uint64 {
+	min := s.max
+	for r, row := range s.rows {
+		i := hashing.Reduce(s.hashers[r].Hash(key), s.w)
+		if v := row[i]; v < min {
+			min = v
+		}
+	}
+	return uint64(min)
+}
+
+// MemoryBytes implements sketch.Sized.
+func (s *Sketch) MemoryBytes() int { return len(s.rows) * s.w * s.bits / 8 }
+
+// Bits returns the configured counter width.
+func (s *Sketch) Bits() int { return s.bits }
+
+// Saturated reports whether the counter value v is at the saturation cap.
+func (s *Sketch) Saturated(v uint64) bool { return v >= uint64(s.max) }
+
+// Width returns the per-row counter count.
+func (s *Sketch) Width() int { return s.w }
+
+// Rows returns the number of counter arrays.
+func (s *Sketch) Rows() int { return len(s.rows) }
+
+// Reset implements sketch.Resettable.
+func (s *Sketch) Reset() {
+	for _, row := range s.rows {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+// Row exposes a row's counters (read-only use) for control-plane analysis
+// such as MRAC-style EM on a single row.
+func (s *Sketch) Row(r int) []uint32 { return s.rows[r] }
+
+// satAdd adds inc to v, saturating at max.
+func satAdd(v uint32, inc uint64, max uint32) uint32 {
+	sum := uint64(v) + inc
+	if sum > uint64(max) {
+		return max
+	}
+	return uint32(sum)
+}

@@ -1,0 +1,190 @@
+package cmsketch
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTest(t testing.TB, mem int, conservative bool) *Sketch {
+	t.Helper()
+	s, err := New(Config{MemoryBytes: mem, Rows: 3, Conservative: conservative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func k(i uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Config{MemoryBytes: 100, Rows: 0}); err == nil {
+		t.Error("expected error for zero rows")
+	}
+	if _, err := New(Config{MemoryBytes: 4, Rows: 3}); err == nil {
+		t.Error("expected error for too little memory")
+	}
+}
+
+func TestExactWhenSparse(t *testing.T) {
+	// With few flows and plenty of memory, estimates are exact.
+	for _, cu := range []bool{false, true} {
+		s := newTest(t, 1<<16, cu)
+		for i := uint64(0); i < 10; i++ {
+			for j := uint64(0); j <= i; j++ {
+				s.Update(k(i), 1)
+			}
+		}
+		for i := uint64(0); i < 10; i++ {
+			if got := s.Estimate(k(i)); got != i+1 {
+				t.Errorf("cu=%v flow %d: got %d want %d", cu, i, got, i+1)
+			}
+		}
+	}
+}
+
+func TestNeverUnderestimates(t *testing.T) {
+	for _, cu := range []bool{false, true} {
+		s := newTest(t, 1<<10, cu) // tiny: force collisions
+		truth := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 5000; i++ {
+			id := uint64(rng.Intn(300))
+			truth[id]++
+			s.Update(k(id), 1)
+		}
+		for id, c := range truth {
+			if got := s.Estimate(k(id)); got < c {
+				t.Fatalf("cu=%v: flow %d underestimated: %d < %d", cu, id, got, c)
+			}
+		}
+	}
+}
+
+func TestCUNotWorseThanCM(t *testing.T) {
+	cm := newTest(t, 1<<12, false)
+	cu := newTest(t, 1<<12, true)
+	truth := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		id := uint64(rng.Intn(2000))
+		truth[id]++
+		cm.Update(k(id), 1)
+		cu.Update(k(id), 1)
+	}
+	var errCM, errCU float64
+	for id, c := range truth {
+		errCM += float64(cm.Estimate(k(id)) - c)
+		errCU += float64(cu.Estimate(k(id)) - c)
+	}
+	if errCU > errCM {
+		t.Errorf("CU total error %f exceeds CM %f", errCU, errCM)
+	}
+	if errCM == 0 {
+		t.Error("test not exercising collisions; shrink memory")
+	}
+}
+
+func TestIncrementBySize(t *testing.T) {
+	s := newTest(t, 1<<16, false)
+	s.Update(k(1), 1000)
+	s.Update(k(1), 500)
+	if got := s.Estimate(k(1)); got != 1500 {
+		t.Errorf("weighted update = %d, want 1500", got)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	for _, cu := range []bool{false, true} {
+		s := newTest(t, 1<<10, cu)
+		s.Update(k(1), 1<<33) // exceeds 32-bit
+		if got := s.Estimate(k(1)); got != 0xffffffff {
+			t.Errorf("cu=%v: saturated estimate = %d", cu, got)
+		}
+		s.Update(k(1), 10) // must not wrap
+		if got := s.Estimate(k(1)); got != 0xffffffff {
+			t.Errorf("cu=%v: post-saturation estimate = %d", cu, got)
+		}
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	s := newTest(t, 12000, false)
+	if s.MemoryBytes() > 12000 {
+		t.Errorf("memory %d exceeds budget", s.MemoryBytes())
+	}
+	if s.Width() != 1000 || s.Rows() != 3 {
+		t.Errorf("geometry w=%d d=%d", s.Width(), s.Rows())
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := newTest(t, 1<<12, false)
+	s.Update(k(1), 7)
+	s.Reset()
+	if got := s.Estimate(k(1)); got != 0 {
+		t.Errorf("after reset estimate = %d", got)
+	}
+}
+
+func TestRowAccess(t *testing.T) {
+	s := newTest(t, 1<<12, false)
+	s.Update(k(1), 3)
+	total := uint64(0)
+	for r := 0; r < s.Rows(); r++ {
+		for _, v := range s.Row(r) {
+			total += uint64(v)
+		}
+	}
+	if total != 3*uint64(s.Rows()) {
+		t.Errorf("row sum %d, want %d", total, 3*s.Rows())
+	}
+}
+
+func TestQuickOverestimate(t *testing.T) {
+	s := newTest(t, 1<<10, false)
+	truth := map[string]uint64{}
+	f := func(key []byte, inc8 uint8) bool {
+		inc := uint64(inc8) + 1
+		s.Update(key, inc)
+		truth[string(key)] += inc
+		return s.Estimate(key) >= truth[string(key)]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUpdateCM(b *testing.B) { benchUpdate(b, false) }
+func BenchmarkUpdateCU(b *testing.B) { benchUpdate(b, true) }
+
+func benchUpdate(b *testing.B, cu bool) {
+	s := newTest(b, 1<<20, cu)
+	var key [8]byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(key[:], uint64(i%100000))
+		s.Update(key[:], 1)
+	}
+}
+
+func BenchmarkEstimateCM(b *testing.B) {
+	s := newTest(b, 1<<20, false)
+	var key [8]byte
+	for i := 0; i < 100000; i++ {
+		binary.LittleEndian.PutUint64(key[:], uint64(i))
+		s.Update(key[:], 1)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(key[:], uint64(i%100000))
+		sink += s.Estimate(key[:])
+	}
+	_ = sink
+}

@@ -1,0 +1,189 @@
+// Package collect implements the control-plane collection path of the FCM
+// framework (§8.1: "we read FCM-Sketch registers from the data plane in
+// batch using runtime APIs"): a compact binary codec for sketch register
+// snapshots and a TCP service over which a controller pulls them.
+package collect
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/fcmsketch/fcm/internal/core"
+	"github.com/fcmsketch/fcm/internal/hashing"
+)
+
+// codec constants.
+const (
+	snapshotMagic   = 0x46434d53 // "FCMS"
+	snapshotVersion = 1
+	// maxSaneBytes bounds decoded allocations against corrupt headers.
+	maxSaneBytes = 1 << 30
+)
+
+// Snapshot is a decoded register dump of an FCM-Sketch: its geometry plus
+// every stage's raw node values. It carries everything the control plane
+// needs (virtual-counter conversion, EM, cardinality); restoring a
+// queryable sketch additionally requires the data plane's hash family.
+type Snapshot struct {
+	K      int
+	Trees  int
+	W1     int
+	Widths []int
+	// Values[t][l] holds tree t, stage l node values.
+	Values [][][]uint32
+}
+
+// TakeSnapshot copies the registers out of a sketch.
+func TakeSnapshot(s *core.Sketch) *Snapshot {
+	snap := &Snapshot{
+		K:      s.K(),
+		Trees:  s.NumTrees(),
+		W1:     s.LeafWidth(),
+		Widths: s.Widths(),
+	}
+	for t := 0; t < snap.Trees; t++ {
+		var stages [][]uint32
+		for l := 0; l < len(snap.Widths); l++ {
+			src := s.StageValues(t, l)
+			dst := make([]uint32, len(src))
+			copy(dst, src)
+			stages = append(stages, dst)
+		}
+		snap.Values = append(snap.Values, stages)
+	}
+	return snap
+}
+
+// Restore rebuilds a queryable sketch from the snapshot. fam must be the
+// data plane's hash family for count queries to be meaningful; pass nil to
+// get a sketch that only supports control-plane conversion.
+func (s *Snapshot) Restore(fam hashing.Family) (*core.Sketch, error) {
+	sk, err := core.New(core.Config{
+		K:         s.K,
+		Trees:     s.Trees,
+		Widths:    s.Widths,
+		LeafWidth: s.W1,
+		Hash:      fam,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("collect: restore: %w", err)
+	}
+	for t := range s.Values {
+		for l := range s.Values[t] {
+			if err := sk.SetStageValues(t, l, s.Values[t][l]); err != nil {
+				return nil, fmt.Errorf("collect: restore: %w", err)
+			}
+		}
+	}
+	return sk, nil
+}
+
+// VirtualCounters converts the snapshot via a restored sketch, the §4.1
+// control-plane step.
+func (s *Snapshot) VirtualCounters() ([][]core.VirtualCounter, error) {
+	sk, err := s.Restore(nil)
+	if err != nil {
+		return nil, err
+	}
+	return sk.VirtualCounters(), nil
+}
+
+// Encode serializes the snapshot.
+//
+// Layout (all big-endian):
+//
+//	u32 magic, u8 version, u8 trees, u8 stages, u8 pad,
+//	u32 k, u32 w1,
+//	stages × u8 width-bits,
+//	trees × stages × (u32 count, count × u32 value)
+func (s *Snapshot) Encode() ([]byte, error) {
+	if s.Trees <= 0 || s.Trees > 255 || len(s.Widths) == 0 || len(s.Widths) > 255 {
+		return nil, fmt.Errorf("collect: snapshot geometry out of range: trees=%d stages=%d",
+			s.Trees, len(s.Widths))
+	}
+	var buf bytes.Buffer
+	w := func(v any) { binary.Write(&buf, binary.BigEndian, v) } //nolint:errcheck // bytes.Buffer cannot fail
+	w(uint32(snapshotMagic))
+	w(uint8(snapshotVersion))
+	w(uint8(s.Trees))
+	w(uint8(len(s.Widths)))
+	w(uint8(0))
+	w(uint32(s.K))
+	w(uint32(s.W1))
+	for _, b := range s.Widths {
+		w(uint8(b))
+	}
+	for t := 0; t < s.Trees; t++ {
+		if len(s.Values[t]) != len(s.Widths) {
+			return nil, fmt.Errorf("collect: tree %d has %d stages, want %d",
+				t, len(s.Values[t]), len(s.Widths))
+		}
+		for _, vals := range s.Values[t] {
+			w(uint32(len(vals)))
+			for _, v := range vals {
+				w(v)
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses an encoded snapshot.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	r := bytes.NewReader(data)
+	var hdr struct {
+		Magic   uint32
+		Version uint8
+		Trees   uint8
+		Stages  uint8
+		Pad     uint8
+		K       uint32
+		W1      uint32
+	}
+	if err := binary.Read(r, binary.BigEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("collect: decoding header: %w", err)
+	}
+	if hdr.Magic != snapshotMagic {
+		return nil, fmt.Errorf("collect: bad snapshot magic 0x%08x", hdr.Magic)
+	}
+	if hdr.Version != snapshotVersion {
+		return nil, fmt.Errorf("collect: unsupported snapshot version %d", hdr.Version)
+	}
+	if hdr.Trees == 0 || hdr.Stages == 0 {
+		return nil, fmt.Errorf("collect: empty geometry")
+	}
+	s := &Snapshot{K: int(hdr.K), Trees: int(hdr.Trees), W1: int(hdr.W1)}
+	widths := make([]uint8, hdr.Stages)
+	if _, err := io.ReadFull(r, widths); err != nil {
+		return nil, fmt.Errorf("collect: decoding widths: %w", err)
+	}
+	for _, b := range widths {
+		s.Widths = append(s.Widths, int(b))
+	}
+	total := 0
+	for t := 0; t < s.Trees; t++ {
+		var stages [][]uint32
+		for l := 0; l < int(hdr.Stages); l++ {
+			var n uint32
+			if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+				return nil, fmt.Errorf("collect: decoding tree %d stage %d length: %w", t, l, err)
+			}
+			total += int(n) * 4
+			if total > maxSaneBytes {
+				return nil, fmt.Errorf("collect: snapshot claims over %dB of registers", maxSaneBytes)
+			}
+			vals := make([]uint32, n)
+			if err := binary.Read(r, binary.BigEndian, &vals); err != nil {
+				return nil, fmt.Errorf("collect: decoding tree %d stage %d values: %w", t, l, err)
+			}
+			stages = append(stages, vals)
+		}
+		s.Values = append(s.Values, stages)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("collect: %d trailing bytes after snapshot", r.Len())
+	}
+	return s, nil
+}

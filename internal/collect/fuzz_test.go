@@ -1,0 +1,44 @@
+package collect
+
+import (
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/core"
+)
+
+// FuzzDecodeSnapshot checks the codec never panics or over-allocates on
+// malformed snapshots, and that valid snapshots survive re-encoding.
+func FuzzDecodeSnapshot(f *testing.F) {
+	s, err := core.New(core.Config{K: 2, Trees: 1, LeafWidth: 8, Widths: []int{4, 8}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s.Update([]byte{1, 2, 3, 4}, 77)
+	good, err := TakeSnapshot(s).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:8])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		re, err := snap.Encode()
+		if err != nil {
+			// Decoded geometry can be unencodable only if decode let
+			// something invalid through.
+			t.Fatalf("decoded snapshot failed to re-encode: %v", err)
+		}
+		again, err := DecodeSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if again.K != snap.K || again.Trees != snap.Trees || again.W1 != snap.W1 {
+			t.Fatal("snapshot geometry changed across round trip")
+		}
+	})
+}

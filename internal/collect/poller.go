@@ -1,0 +1,123 @@
+package collect
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Poller periodically collects snapshots from a switch — the "periodically
+// collecting FCM-Sketch from the data plane" loop of §4.4. Each interval
+// it reads the registers, optionally resets them (window rotation), and
+// hands the snapshot to the callback.
+type Poller struct {
+	addr     string
+	interval time.Duration
+	reset    bool
+	onSnap   func(*Snapshot)
+	onErr    func(error)
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// PollerConfig configures a Poller.
+type PollerConfig struct {
+	// Addr is the collection server address.
+	Addr string
+	// Interval is the collection period.
+	Interval time.Duration
+	// Reset rotates the window after each collection.
+	Reset bool
+	// OnSnapshot receives every collected snapshot (required).
+	OnSnapshot func(*Snapshot)
+	// OnError receives transient collection errors; nil ignores them
+	// (the poller keeps trying either way).
+	OnError func(error)
+}
+
+// NewPoller validates the configuration and returns an unstarted Poller.
+func NewPoller(cfg PollerConfig) (*Poller, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("collect: poller needs an address")
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("collect: poller interval must be positive, got %v", cfg.Interval)
+	}
+	if cfg.OnSnapshot == nil {
+		return nil, fmt.Errorf("collect: poller needs an OnSnapshot callback")
+	}
+	return &Poller{
+		addr:     cfg.Addr,
+		interval: cfg.Interval,
+		reset:    cfg.Reset,
+		onSnap:   cfg.OnSnapshot,
+		onErr:    cfg.OnError,
+	}, nil
+}
+
+// Start launches the collection loop. It is an error to start a running
+// poller.
+func (p *Poller) Start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return fmt.Errorf("collect: poller already running")
+	}
+	p.stop = make(chan struct{})
+	p.stopped = make(chan struct{})
+	go p.loop(p.stop, p.stopped)
+	return nil
+}
+
+// Stop halts the loop and waits for it to finish. Stopping a stopped
+// poller is a no-op.
+func (p *Poller) Stop() {
+	p.mu.Lock()
+	stop, stopped := p.stop, p.stopped
+	p.stop, p.stopped = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-stopped
+}
+
+// loop runs until stop closes.
+func (p *Poller) loop(stop <-chan struct{}, stopped chan<- struct{}) {
+	defer close(stopped)
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			if err := p.collectOnce(); err != nil && p.onErr != nil {
+				p.onErr(err)
+			}
+		}
+	}
+}
+
+// collectOnce dials, reads (and optionally resets) one snapshot.
+func (p *Poller) collectOnce() error {
+	cl, err := Dial(p.addr, p.interval)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	snap, err := cl.ReadSketch()
+	if err != nil {
+		return err
+	}
+	if p.reset {
+		if err := cl.ResetSketch(); err != nil {
+			return err
+		}
+	}
+	p.onSnap(snap)
+	return nil
+}

@@ -1,0 +1,213 @@
+package collect
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/fcmsketch/fcm/internal/core"
+)
+
+// Wire protocol: every message is a 1-byte opcode framed request followed
+// by a framed response. Frames are u32 big-endian length + payload; the
+// response payload starts with a 1-byte status (0 = ok, 1 = error string).
+const (
+	// OpReadSketch returns an encoded Snapshot of the sketch registers.
+	OpReadSketch = 1
+	// OpResetSketch clears the registers (window rotation).
+	OpResetSketch = 2
+
+	statusOK  = 0
+	statusErr = 1
+
+	// maxFrame bounds a frame to keep a rogue peer from exhausting
+	// memory. Large sketches (tens of MB) still fit comfortably.
+	maxFrame = 256 << 20
+)
+
+// Server exposes a data plane's sketch registers over TCP so a controller
+// can collect them in batch.
+type Server struct {
+	mu     sync.Mutex
+	sketch *core.Sketch
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewServer starts serving the sketch on addr (use "127.0.0.1:0" for an
+// ephemeral test port). The sketch may keep receiving updates; reads are
+// serialized against them via Lock.
+func NewServer(addr string, sketch *core.Sketch) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collect: listen: %w", err)
+	}
+	s := &Server{sketch: sketch, ln: ln, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Lock serializes data-plane updates against collection. Callers feeding
+// the sketch concurrently must hold it around Update calls.
+func (s *Server) Lock() { s.mu.Lock() }
+
+// Unlock releases the update lock.
+func (s *Server) Unlock() { s.mu.Unlock() }
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				// Transient accept failure: keep serving.
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+// serve handles one connection until EOF or error.
+func (s *Server) serve(conn net.Conn) {
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if len(req) < 1 {
+			writeError(conn, "empty request") //nolint:errcheck // connection teardown follows
+			return
+		}
+		switch req[0] {
+		case OpReadSketch:
+			s.mu.Lock()
+			snap := TakeSnapshot(s.sketch)
+			s.mu.Unlock()
+			data, err := snap.Encode()
+			if err != nil {
+				writeError(conn, err.Error()) //nolint:errcheck
+				return
+			}
+			if err := writeFrame(conn, append([]byte{statusOK}, data...)); err != nil {
+				return
+			}
+		case OpResetSketch:
+			s.mu.Lock()
+			s.sketch.Reset()
+			s.mu.Unlock()
+			if err := writeFrame(conn, []byte{statusOK}); err != nil {
+				return
+			}
+		default:
+			writeError(conn, fmt.Sprintf("unknown opcode %d", req[0])) //nolint:errcheck
+			return
+		}
+	}
+}
+
+func writeError(conn net.Conn, msg string) error {
+	return writeFrame(conn, append([]byte{statusErr}, msg...))
+}
+
+// Client pulls snapshots from a Server.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a collection server with the given timeout.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("collect: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ReadSketch fetches a register snapshot.
+func (c *Client) ReadSketch() (*Snapshot, error) {
+	payload, err := c.roundTrip([]byte{OpReadSketch})
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(payload)
+}
+
+// ResetSketch clears the data plane's registers (window rotation).
+func (c *Client) ResetSketch() error {
+	_, err := c.roundTrip([]byte{OpResetSketch})
+	return err
+}
+
+func (c *Client) roundTrip(req []byte) ([]byte, error) {
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, fmt.Errorf("collect: sending request: %w", err)
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("collect: reading response: %w", err)
+	}
+	if len(resp) < 1 {
+		return nil, errors.New("collect: empty response")
+	}
+	if resp[0] == statusErr {
+		return nil, fmt.Errorf("collect: server error: %s", resp[1:])
+	}
+	return resp[1:], nil
+}
+
+// writeFrame sends one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("collect: frame of %dB exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

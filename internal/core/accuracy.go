@@ -1,0 +1,87 @@
+package core
+
+import "math"
+
+// This file implements the quantities of the accuracy analysis (§5 and
+// Appendix B): the per-degree overestimation floor η_ξ and the error
+// bounds of Lemma B.1 and Theorem 5.1. They are exercised by property
+// tests and by the thm51 experiment.
+
+// EtaXi computes η_ξ of Eqn. 7: the minimum overestimation a degree-ξ
+// virtual counter adds on top of a member flow's own path,
+//
+//	η_ξ = Σ_{j=1..⌈log_k ξ⌉} (⌈ξ/k^(j−1)⌉ − 1)·θ_j
+//
+// where θ_j is the counting capacity of stage j (1-based). For ξ = 1 it is
+// zero: a lone path overestimates nothing beyond ordinary collisions.
+func EtaXi(k int, thetas []uint64, xi int) uint64 {
+	if xi <= 1 {
+		return 0
+	}
+	levels := int(math.Ceil(math.Log(float64(xi)) / math.Log(float64(k))))
+	eta := uint64(0)
+	div := 1
+	for j := 0; j < levels && j < len(thetas); j++ {
+		paths := (xi + div - 1) / div // ⌈ξ/k^(j−1)⌉
+		eta += uint64(paths-1) * thetas[j]
+		div *= k
+	}
+	return eta
+}
+
+// Thetas returns the per-stage counting capacities θ_l of the sketch.
+func (s *Sketch) Thetas() []uint64 {
+	out := make([]uint64, len(s.widths))
+	for l := range s.widths {
+		out[l] = s.StageMax(l)
+	}
+	return out
+}
+
+// MaxDegree returns the largest virtual-counter degree D currently
+// realized in any tree (the D of Theorem 5.1).
+func (s *Sketch) MaxDegree() int {
+	max := 0
+	for _, vcs := range s.VirtualCounters() {
+		for _, vc := range vcs {
+			if vc.Degree > max {
+				max = vc.Degree
+			}
+		}
+	}
+	return max
+}
+
+// LemmaB1Bound evaluates the general error bound of Lemma B.1 for a stream
+// of norm1 total packets:
+//
+//	err ≤ ε · max_{1≤ξ≤D} (ξ·|x|₁ − w1·η_ξ),  ε = e/w1.
+func (s *Sketch) LemmaB1Bound(norm1 uint64, maxDegree int) float64 {
+	w1 := float64(s.w1)
+	eps := math.E / w1
+	thetas := s.Thetas()
+	best := math.Inf(-1)
+	for xi := 1; xi <= maxDegree; xi++ {
+		v := float64(xi)*float64(norm1) - w1*float64(EtaXi(s.k, thetas, xi))
+		if v > best {
+			best = v
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return eps * best
+}
+
+// Theorem51Bound evaluates the simplified bound of Theorem 5.1:
+//
+//	err ≤ ε·|x|₁ + ε·(D−1)·(|x|₁ − w1·θ1)·𝟙{|x|₁ > w1·θ1}.
+func (s *Sketch) Theorem51Bound(norm1 uint64, maxDegree int) float64 {
+	w1 := float64(s.w1)
+	eps := math.E / w1
+	bound := eps * float64(norm1)
+	if cap := w1 * float64(s.StageMax(0)); float64(norm1) > cap {
+		bound += eps * float64(maxDegree-1) * (float64(norm1) - cap)
+	}
+	return bound
+}

@@ -1,0 +1,361 @@
+// Package core implements FCM-Sketch (§3 of the paper): a k-ary tree of
+// counter stages where small counters at the leaves overflow into fewer,
+// larger counters toward the root. The overflow indicator is the counter's
+// maximum value (2^b−1 means "count 2^b−2 and overflowed"), so no separate
+// flag bits are spent. A multi-tree sketch takes the minimum estimate over
+// d independent trees, exactly like Count-Min.
+//
+// The package also implements the data-plane queries of §3.3 (count query,
+// Linear-Counting cardinality) and the control-plane conversion of the
+// sketch into virtual counters (§4.1) consumed by the EM estimator.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fcmsketch/fcm/internal/hashing"
+)
+
+// Config parameterizes an FCM-Sketch.
+type Config struct {
+	// K is the tree arity; stage l+1 has 1/K the nodes of stage l. The
+	// paper recommends 8 for FCM and 16 for FCM+TopK (§7.4).
+	K int
+	// Trees is the number of independent trees d (default/paper: 2).
+	Trees int
+	// Widths is the counter bit width of each stage, leaves first. The
+	// paper's deployment uses byte-aligned {8, 16, 32}; smaller widths
+	// (e.g. the {2, 4, 8} of Fig. 4) are accepted for testing.
+	Widths []int
+	// MemoryBytes is the total counter budget across all trees. Exactly
+	// one of MemoryBytes and LeafWidth must be set.
+	MemoryBytes int
+	// LeafWidth directly sets w1 (nodes at stage 1 per tree), bypassing
+	// the memory solver. Must be a positive multiple of K^(stages-1).
+	LeafWidth int
+	// Hash provides the independent per-tree hash functions; nil selects
+	// BobHash with a fixed seed.
+	Hash hashing.Family
+	// FlagBitIndicator switches to the explicit overflow-flag encoding
+	// used by earlier counter-sharing designs [19, 60]: one bit of every
+	// node is spent on the flag, halving the counting range. The paper's
+	// design intuition #2 argues the max-value marker is strictly better;
+	// this option exists for the ablation experiment that verifies it.
+	FlagBitIndicator bool
+	// Conservative enables conservative-update semantics across trees
+	// (Estan & Varghese [26], generalized to FCM): on update, only trees
+	// whose current count query falls below min+inc are raised, and only
+	// up to that target. §7.1 notes CU improves FCM about as much as it
+	// improves CM; the paper skips it in the evaluation, so it is off by
+	// default and exercised by the ablation benchmarks. Multi-tree only —
+	// with a single tree it is a no-op. Not implementable on PISA (it
+	// needs all trees' reads before any write).
+	Conservative bool
+}
+
+// DefaultWidths is the paper's byte-aligned stage layout.
+func DefaultWidths() []int { return []int{8, 16, 32} }
+
+// tree is a single k-ary FCM tree.
+type tree struct {
+	k      int
+	stages [][]uint32 // node values per stage
+	max    []uint32   // counting capacity per stage: 2^b − 2
+	mark   []uint32   // overflow marker per stage: 2^b − 1
+	hasher hashing.Hasher
+}
+
+// Sketch is a (possibly multi-tree) FCM-Sketch.
+type Sketch struct {
+	trees        []*tree
+	k            int
+	widths       []int
+	w1           int
+	conservative bool
+}
+
+// New builds an FCM-Sketch from cfg.
+func New(cfg Config) (*Sketch, error) {
+	if cfg.K < 2 {
+		return nil, fmt.Errorf("core: K must be ≥ 2, got %d", cfg.K)
+	}
+	if cfg.Trees <= 0 {
+		return nil, fmt.Errorf("core: Trees must be positive, got %d", cfg.Trees)
+	}
+	widths := cfg.Widths
+	if len(widths) == 0 {
+		widths = DefaultWidths()
+	}
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 stages, got %d", len(widths))
+	}
+	for i, b := range widths {
+		if b < 2 || b > 32 {
+			return nil, fmt.Errorf("core: stage %d width %d out of range [2,32]", i, b)
+		}
+		if i > 0 && b <= widths[i-1] {
+			return nil, fmt.Errorf("core: stage widths must increase, got %v", widths)
+		}
+	}
+	depth := len(widths)
+	leafAlign := 1
+	for i := 1; i < depth; i++ {
+		leafAlign *= cfg.K
+	}
+
+	w1 := cfg.LeafWidth
+	switch {
+	case w1 > 0 && cfg.MemoryBytes > 0:
+		return nil, fmt.Errorf("core: set only one of MemoryBytes and LeafWidth")
+	case w1 > 0:
+		if w1%leafAlign != 0 {
+			return nil, fmt.Errorf("core: LeafWidth %d not a multiple of K^(stages-1) = %d", w1, leafAlign)
+		}
+	case cfg.MemoryBytes > 0:
+		w1 = solveLeafWidth(cfg.MemoryBytes, cfg.Trees, cfg.K, widths)
+		if w1 < leafAlign {
+			return nil, fmt.Errorf("core: memory %dB too small for %d trees of %d-ary depth %d",
+				cfg.MemoryBytes, cfg.Trees, cfg.K, depth)
+		}
+	default:
+		return nil, fmt.Errorf("core: one of MemoryBytes or LeafWidth is required")
+	}
+
+	fam := cfg.Hash
+	if fam == nil {
+		fam = hashing.NewBobFamily(0xfc0fc0)
+	}
+	s := &Sketch{k: cfg.K, widths: widths, w1: w1, conservative: cfg.Conservative}
+	for t := 0; t < cfg.Trees; t++ {
+		tr := &tree{k: cfg.K, hasher: fam.New(t)}
+		w := w1
+		for _, b := range widths {
+			tr.stages = append(tr.stages, make([]uint32, w))
+			if cfg.FlagBitIndicator {
+				// Counting bits: b−1; the marker position stands in
+				// for the dedicated flag bit.
+				m := uint32(1) << uint(b-1)
+				tr.mark = append(tr.mark, m)
+				tr.max = append(tr.max, m-1)
+			} else {
+				m := uint32(1)<<uint(b) - 1
+				tr.mark = append(tr.mark, m)
+				tr.max = append(tr.max, m-1)
+			}
+			w /= cfg.K
+		}
+		s.trees = append(s.trees, tr)
+	}
+	return s, nil
+}
+
+// solveLeafWidth computes the largest w1 (multiple of k^(depth−1)) whose
+// full tree fits the per-tree byte budget.
+func solveLeafWidth(memBytes, trees, k int, widths []int) int {
+	perTree := float64(memBytes) / float64(trees)
+	bytesPerLeaf := 0.0 // bytes consumed per leaf slot across all stages
+	div := 1.0
+	for _, b := range widths {
+		bytesPerLeaf += float64(b) / 8 / div
+		div *= float64(k)
+	}
+	w1 := int(perTree / bytesPerLeaf)
+	align := 1
+	for i := 1; i < len(widths); i++ {
+		align *= k
+	}
+	return w1 / align * align
+}
+
+// Update implements sketch.Updater: Algorithm 1 applied to every tree.
+// Counting capacity absorbed at a stage is max−value; everything beyond
+// (including the marker-setting increment) feeds forward to the parent.
+func (s *Sketch) Update(key []byte, inc uint64) {
+	if inc == 0 {
+		return
+	}
+	if s.conservative && len(s.trees) > 1 {
+		s.updateConservative(key, inc)
+		return
+	}
+	for _, t := range s.trees {
+		t.update(key, inc)
+	}
+}
+
+// updateConservative raises each tree's count query only up to
+// min-over-trees + inc, the CU rule generalized to FCM. The estimate stays
+// one-sided (it never drops below the true count) because the minimum tree
+// was a valid overestimate before the update and gains the full increment.
+func (s *Sketch) updateConservative(key []byte, inc uint64) {
+	min := uint64(math.MaxUint64)
+	for _, t := range s.trees {
+		if v := t.query(key); v < min {
+			min = v
+		}
+	}
+	target := min + inc
+	for _, t := range s.trees {
+		if cur := t.query(key); cur < target {
+			t.update(key, target-cur)
+		}
+	}
+}
+
+func (t *tree) update(key []byte, inc uint64) {
+	idx := hashing.Reduce(t.hasher.Hash(key), len(t.stages[0]))
+	last := len(t.stages) - 1
+	rem := inc
+	for l := 0; ; l++ {
+		v := t.stages[l][idx]
+		if l == last {
+			// Final stage: saturate at the counting capacity.
+			sum := uint64(v) + rem
+			if sum > uint64(t.max[l]) {
+				sum = uint64(t.max[l])
+			}
+			t.stages[l][idx] = uint32(sum)
+			return
+		}
+		if v != t.mark[l] {
+			capacity := uint64(t.max[l] - v)
+			if rem <= capacity {
+				t.stages[l][idx] = v + uint32(rem)
+				return
+			}
+			t.stages[l][idx] = t.mark[l]
+			rem -= capacity
+		}
+		idx /= t.k
+	}
+}
+
+// Estimate implements sketch.Estimator: the count query of §3.2, minimized
+// over trees.
+func (s *Sketch) Estimate(key []byte) uint64 {
+	min := uint64(math.MaxUint64)
+	for _, t := range s.trees {
+		if v := t.query(key); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+func (t *tree) query(key []byte) uint64 {
+	idx := hashing.Reduce(t.hasher.Hash(key), len(t.stages[0]))
+	last := len(t.stages) - 1
+	est := uint64(0)
+	for l := 0; ; l++ {
+		v := t.stages[l][idx]
+		if l == last || v != t.mark[l] {
+			est += uint64(v)
+			return est
+		}
+		est += uint64(t.max[l])
+		idx /= t.k
+	}
+}
+
+// Cardinality implements the Linear-Counting estimator of §3.3:
+// n̂ = −w1·ln(w0/w1) with w0 averaged over the trees' stage-1 arrays.
+func (s *Sketch) Cardinality() float64 {
+	w0 := s.EmptyLeaves()
+	w1 := float64(s.w1)
+	if w0 <= 0 {
+		// Linear counting saturates when no leaf is empty; return its
+		// limit with a single empty slot, the standard LC fallback.
+		w0 = 1
+	}
+	return -w1 * math.Log(w0/w1)
+}
+
+// EmptyLeaves returns the number of zero-valued stage-1 nodes averaged over
+// the trees (the w0 of §3.3).
+func (s *Sketch) EmptyLeaves() float64 {
+	total := 0
+	for _, t := range s.trees {
+		for _, v := range t.stages[0] {
+			if v == 0 {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(len(s.trees))
+}
+
+// MemoryBytes implements sketch.Sized: the exact bit cost of all counters.
+func (s *Sketch) MemoryBytes() int {
+	bits := 0
+	for _, t := range s.trees {
+		for l, st := range t.stages {
+			bits += len(st) * s.widths[l]
+		}
+	}
+	return bits / 8
+}
+
+// Reset implements sketch.Resettable.
+func (s *Sketch) Reset() {
+	for _, t := range s.trees {
+		for _, st := range t.stages {
+			for i := range st {
+				st[i] = 0
+			}
+		}
+	}
+}
+
+// K returns the tree arity.
+func (s *Sketch) K() int { return s.k }
+
+// Depth returns the number of stages.
+func (s *Sketch) Depth() int { return len(s.widths) }
+
+// NumTrees returns the number of trees d.
+func (s *Sketch) NumTrees() int { return len(s.trees) }
+
+// LeafWidth returns w1, the number of stage-1 nodes per tree.
+func (s *Sketch) LeafWidth() int { return s.w1 }
+
+// Widths returns the per-stage counter bit widths.
+func (s *Sketch) Widths() []int { return append([]int(nil), s.widths...) }
+
+// StageMax returns θ_l, the counting capacity 2^b−2 of stage l (0-based).
+func (s *Sketch) StageMax(l int) uint64 { return uint64(s.trees[0].max[l]) }
+
+// StageValues returns the raw node values of stage l of tree t. The slice
+// aliases internal state; callers must treat it as read-only. It exists for
+// the control-plane collector and the PISA compiler.
+func (s *Sketch) StageValues(t, l int) []uint32 { return s.trees[t].stages[l] }
+
+// SetStageValues overwrites stage l of tree t, used when reconstructing a
+// sketch from a collected snapshot. The length must match.
+func (s *Sketch) SetStageValues(t, l int, vals []uint32) error {
+	dst := s.trees[t].stages[l]
+	if len(vals) != len(dst) {
+		return fmt.Errorf("core: stage %d/%d length %d, want %d", t, l, len(vals), len(dst))
+	}
+	copy(dst, vals)
+	return nil
+}
+
+// TotalCount returns the sum of counts recorded in tree t (each overflowed
+// node contributes its capacity, terminals their value). It equals the
+// number of packets fed in, absent final-stage saturation, and is the
+// invariant the virtual-counter conversion must preserve.
+func (s *Sketch) TotalCount(t int) uint64 {
+	tr := s.trees[t]
+	total := uint64(0)
+	for l, st := range tr.stages {
+		for _, v := range st {
+			if v == tr.mark[l] && l < len(tr.stages)-1 {
+				total += uint64(tr.max[l])
+			} else {
+				total += uint64(v)
+			}
+		}
+	}
+	return total
+}

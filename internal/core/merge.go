@@ -1,0 +1,101 @@
+package core
+
+import "fmt"
+
+// Merge folds another sketch into s. Both must have identical geometry and
+// identical hash functions (same family and seed); the hash requirement
+// cannot be verified here and is the caller's contract.
+//
+// The merge is exact: because every node's state is a pure function of the
+// counts it received, and received counts add under stream concatenation,
+// the merged sketch is bit-identical to one that ingested both streams.
+// Per node (bottom-up): the combined count is the two absorbed counts plus
+// the carry from merged children; if either source overflowed or the
+// combined count exceeds the capacity, the node is marked and only the
+// *new* excess is carried up — the sources' own excesses already live in
+// their parents, which merge at the next level.
+//
+// This makes FCM-Sketch practical for network-wide monitoring: per-switch
+// (or per-shard) sketches collect independently and merge in the control
+// plane.
+func (s *Sketch) Merge(o *Sketch) error {
+	if err := s.compatible(o); err != nil {
+		return err
+	}
+	last := len(s.widths) - 1
+	for ti := range s.trees {
+		a, b := s.trees[ti], o.trees[ti]
+		carry := make([]uint64, s.w1)
+		for l := 0; l <= last; l++ {
+			stA, stB := a.stages[l], b.stages[l]
+			max := uint64(a.max[l])
+			mark := a.mark[l]
+			var nextCarry []uint64
+			if l < last {
+				nextCarry = make([]uint64, len(a.stages[l+1]))
+			}
+			for i := range stA {
+				va, vb := stA[i], stB[i]
+				c := carry[i]
+				overflowed := false
+				if l < last {
+					overflowed = va == mark || vb == mark
+				}
+				if va == mark && l < last {
+					c += max
+				} else {
+					c += uint64(va)
+				}
+				if vb == mark && l < last {
+					c += max
+				} else {
+					c += uint64(vb)
+				}
+				if l == last {
+					// Root stage saturates like the update path.
+					if c > max {
+						c = max
+					}
+					stA[i] = uint32(c)
+					continue
+				}
+				if overflowed || c > max {
+					stA[i] = mark
+					if c > max {
+						nextCarry[i/s.k] += c - max
+					}
+				} else {
+					stA[i] = uint32(c)
+				}
+			}
+			carry = nextCarry
+		}
+	}
+	return nil
+}
+
+// compatible verifies the two sketches share a geometry.
+func (s *Sketch) compatible(o *Sketch) error {
+	if o == nil {
+		return fmt.Errorf("core: merge with nil sketch")
+	}
+	if s.k != o.k || s.w1 != o.w1 || len(s.trees) != len(o.trees) {
+		return fmt.Errorf("core: merge geometry mismatch: k=%d/%d w1=%d/%d trees=%d/%d",
+			s.k, o.k, s.w1, o.w1, len(s.trees), len(o.trees))
+	}
+	if len(s.widths) != len(o.widths) {
+		return fmt.Errorf("core: merge depth mismatch: %d vs %d", len(s.widths), len(o.widths))
+	}
+	for i := range s.widths {
+		if s.widths[i] != o.widths[i] {
+			return fmt.Errorf("core: merge width mismatch at stage %d: %d vs %d",
+				i, s.widths[i], o.widths[i])
+		}
+	}
+	for i := range s.trees {
+		if s.trees[i].mark[0] != o.trees[i].mark[0] {
+			return fmt.Errorf("core: merge encoding mismatch (flag-bit vs marker)")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package core
+
+// VirtualCounter is one entry of the control plane's linear counter array
+// (§4.1). Value is the exact total count of the merged sub-tree; Degree is
+// the number of leaf paths merged into it; Level is the stage (1-based) of
+// the terminal node where the paths met, which the EM estimator can use to
+// tighten its collision constraints.
+type VirtualCounter struct {
+	Value  uint64
+	Degree int
+	Level  int
+}
+
+// VirtualCounters runs the conversion algorithm of §4.1 on every tree and
+// returns one virtual counter array per tree. Empty leaves produce
+// degree-1, value-0 counters (as in the paper's example V¹₂ = 0).
+//
+// The conversion is bottom-up: every leaf starts a path carrying one degree
+// and its counted value; overflowed nodes forward their accumulated
+// (value, degree) to their parent, counting their own capacity once; a node
+// that has not overflowed (or the root stage) terminates all paths that
+// reached it as one virtual counter.
+func (s *Sketch) VirtualCounters() [][]VirtualCounter {
+	out := make([][]VirtualCounter, len(s.trees))
+	for i, t := range s.trees {
+		out[i] = t.virtualCounters()
+	}
+	return out
+}
+
+func (t *tree) virtualCounters() []VirtualCounter {
+	last := len(t.stages) - 1
+	var vcs []VirtualCounter
+
+	// carryVal/carryDeg accumulate, for each node of the current stage,
+	// the total value and path count forwarded from overflowed children.
+	carryVal := make([]uint64, len(t.stages[0]))
+	carryDeg := make([]int, len(t.stages[0]))
+	// Every leaf starts one path with no inherited carry.
+	for i := range carryDeg {
+		carryDeg[i] = 1
+	}
+
+	for l := 0; ; l++ {
+		st := t.stages[l]
+		if l == last {
+			// Root stage: everything that arrived here terminates.
+			for i, v := range st {
+				if carryDeg[i] == 0 {
+					continue
+				}
+				vcs = append(vcs, VirtualCounter{
+					Value:  carryVal[i] + uint64(v),
+					Degree: carryDeg[i],
+					Level:  l + 1,
+				})
+			}
+			return vcs
+		}
+		nextVal := make([]uint64, len(t.stages[l+1]))
+		nextDeg := make([]int, len(t.stages[l+1]))
+		for i, v := range st {
+			if carryDeg[i] == 0 {
+				continue // no path reaches this node
+			}
+			if v == t.mark[l] {
+				// Overflowed: contribute capacity once, forward.
+				parent := i / t.k
+				nextVal[parent] += carryVal[i] + uint64(t.max[l])
+				nextDeg[parent] += carryDeg[i]
+				continue
+			}
+			// Terminal: all paths that reached this node merge here.
+			vcs = append(vcs, VirtualCounter{
+				Value:  carryVal[i] + uint64(v),
+				Degree: carryDeg[i],
+				Level:  l + 1,
+			})
+		}
+		carryVal, carryDeg = nextVal, nextDeg
+	}
+}
+
+// DegreeHistogram counts non-empty virtual counters per degree, the data
+// behind Fig. 8. The returned slice is indexed by degree (index 0 unused).
+func DegreeHistogram(vcs []VirtualCounter) []int {
+	maxDeg := 0
+	for _, vc := range vcs {
+		if vc.Degree > maxDeg {
+			maxDeg = vc.Degree
+		}
+	}
+	h := make([]int, maxDeg+1)
+	for _, vc := range vcs {
+		if vc.Value > 0 {
+			h[vc.Degree]++
+		}
+	}
+	return h
+}

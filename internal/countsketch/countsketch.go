@@ -1,0 +1,106 @@
+// Package countsketch implements the Count-Sketch (Charikar et al.) used
+// as the per-level frequency estimator inside UnivMon. Unlike Count-Min it
+// is unbiased: each row adds ±inc by a sign hash, and the estimate is the
+// median of the signed row reads.
+package countsketch
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fcmsketch/fcm/internal/hashing"
+)
+
+// Sketch is an r×w Count-Sketch.
+type Sketch struct {
+	rows    [][]int64
+	hashers []hashing.Hasher
+	w       int
+}
+
+// Config parameterizes the sketch.
+type Config struct {
+	// MemoryBytes is the counter budget; width = MemoryBytes/(8·Rows).
+	MemoryBytes int
+	// Rows is the number of counter arrays (odd values give a clean
+	// median; UnivMon typically uses 5).
+	Rows int
+	// Hash provides the row hash functions (index and sign are derived
+	// from disjoint bits of one 64-bit hash per row). Nil selects BobHash.
+	Hash hashing.Family
+}
+
+// New builds a Count-Sketch.
+func New(cfg Config) (*Sketch, error) {
+	if cfg.Rows <= 0 {
+		return nil, fmt.Errorf("countsketch: Rows must be positive, got %d", cfg.Rows)
+	}
+	w := cfg.MemoryBytes / (8 * cfg.Rows)
+	if w < 1 {
+		return nil, fmt.Errorf("countsketch: memory %dB too small for %d rows", cfg.MemoryBytes, cfg.Rows)
+	}
+	fam := cfg.Hash
+	if fam == nil {
+		fam = hashing.NewBobFamily(0xc0117e7)
+	}
+	s := &Sketch{w: w}
+	for i := 0; i < cfg.Rows; i++ {
+		s.rows = append(s.rows, make([]int64, w))
+		s.hashers = append(s.hashers, fam.New(i))
+	}
+	return s, nil
+}
+
+// Update implements sketch.Updater.
+func (s *Sketch) Update(key []byte, inc uint64) {
+	for r, row := range s.rows {
+		h := s.hashers[r].Hash(key)
+		i := hashing.Reduce(h>>1, s.w)
+		if h&1 == 1 {
+			row[i] += int64(inc)
+		} else {
+			row[i] -= int64(inc)
+		}
+	}
+}
+
+// EstimateSigned returns the median signed estimate, which may be negative
+// under heavy collision noise.
+func (s *Sketch) EstimateSigned(key []byte) int64 {
+	ests := make([]int64, len(s.rows))
+	for r, row := range s.rows {
+		h := s.hashers[r].Hash(key)
+		v := row[hashing.Reduce(h>>1, s.w)]
+		if h&1 == 0 {
+			v = -v
+		}
+		ests[r] = v
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i] < ests[j] })
+	n := len(ests)
+	if n%2 == 1 {
+		return ests[n/2]
+	}
+	return (ests[n/2-1] + ests[n/2]) / 2
+}
+
+// Estimate implements sketch.Estimator, clamping negatives to zero.
+func (s *Sketch) Estimate(key []byte) uint64 {
+	v := s.EstimateSigned(key)
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// MemoryBytes implements sketch.Sized.
+func (s *Sketch) MemoryBytes() int { return len(s.rows) * s.w * 8 }
+
+// Reset implements sketch.Resettable.
+func (s *Sketch) Reset() {
+	for _, row := range s.rows {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}

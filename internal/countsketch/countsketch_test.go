@@ -1,0 +1,121 @@
+package countsketch
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func k(i uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Config{MemoryBytes: 100, Rows: 0}); err == nil {
+		t.Error("expected rows error")
+	}
+	if _, err := New(Config{MemoryBytes: 8, Rows: 5}); err == nil {
+		t.Error("expected memory error")
+	}
+}
+
+func TestExactWhenSparse(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 1 << 16, Rows: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		s.Update(k(i), i+1)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if got := s.Estimate(k(i)); got != i+1 {
+			t.Errorf("flow %d: got %d want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestUnbiasedUnderCollisions(t *testing.T) {
+	// Mean signed error across many flows should be near zero (unlike
+	// Count-Min, which only overestimates).
+	s, err := New(Config{MemoryBytes: 1 << 12, Rows: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[uint64]int64{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		id := uint64(rng.Intn(4000))
+		truth[id]++
+		s.Update(k(id), 1)
+	}
+	var sumErr float64
+	var absErr float64
+	for id, c := range truth {
+		e := float64(s.EstimateSigned(k(id)) - c)
+		sumErr += e
+		absErr += math.Abs(e)
+	}
+	if absErr == 0 {
+		t.Fatal("no collisions; shrink memory")
+	}
+	if math.Abs(sumErr) > 0.2*absErr {
+		t.Errorf("mean signed error %f too biased (abs %f)", sumErr, absErr)
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 80, Rows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key whose sign hash is negative relative to another.
+	s.Update(k(1), 100)
+	for i := uint64(2); i < 200; i++ {
+		if s.EstimateSigned(k(i)) < 0 {
+			if s.Estimate(k(i)) != 0 {
+				t.Error("negative estimate not clamped")
+			}
+			return
+		}
+	}
+	t.Skip("no negative estimate found in probe range")
+}
+
+func TestMedianEvenRows(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 1 << 14, Rows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Update(k(9), 50)
+	if got := s.Estimate(k(9)); got != 50 {
+		t.Errorf("even-rows estimate %d want 50", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, _ := New(Config{MemoryBytes: 1 << 12, Rows: 3})
+	s.Update(k(1), 10)
+	s.Reset()
+	if got := s.EstimateSigned(k(1)); got != 0 {
+		t.Errorf("after reset %d", got)
+	}
+}
+
+func TestMemory(t *testing.T) {
+	s, _ := New(Config{MemoryBytes: 1 << 12, Rows: 4})
+	if s.MemoryBytes() > 1<<12 {
+		t.Errorf("memory %d over budget", s.MemoryBytes())
+	}
+}
+
+func BenchmarkUpdateCountSketch(b *testing.B) {
+	s, _ := New(Config{MemoryBytes: 1 << 20, Rows: 5})
+	var key [8]byte
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(key[:], uint64(i%100000))
+		s.Update(key[:], 1)
+	}
+}

@@ -1,0 +1,172 @@
+package elastic
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/metrics"
+)
+
+func k(i uint64) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(i))
+	return b[:]
+}
+
+func newTest(t testing.TB, mem int) *Sketch {
+	t.Helper()
+	s, err := New(Config{MemoryBytes: mem, TopKLevels: 2, TopKEntries: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewErrors(t *testing.T) {
+	// Heavy part bigger than the budget.
+	if _, err := New(Config{MemoryBytes: 100, TopKLevels: 4, TopKEntries: 8192}); err == nil {
+		t.Error("expected error when heavy part exceeds budget")
+	}
+}
+
+func TestHeavyFlowExact(t *testing.T) {
+	s := newTest(t, 1<<16)
+	for i := 0; i < 5000; i++ {
+		s.Update(k(1), 1)
+	}
+	if got := s.Estimate(k(1)); got != 5000 {
+		t.Errorf("heavy estimate %d want 5000", got)
+	}
+}
+
+func TestMiceViaLightPart(t *testing.T) {
+	s := newTest(t, 1<<18)
+	truth := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50000; i++ {
+		id := uint64(rng.Intn(8000))
+		truth[id]++
+		s.Update(k(id), 1)
+	}
+	// Estimates must be reasonable: ARE below 1 (8-bit light counters
+	// saturate at 255, so mice dominate accuracy).
+	var tv, ev []float64
+	for id, c := range truth {
+		tv = append(tv, float64(c))
+		ev = append(ev, float64(s.Estimate(k(id))))
+	}
+	if are := metrics.ARE(tv, ev); are > 1 {
+		t.Errorf("ARE %f too high", are)
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	s := newTest(t, 1<<18)
+	rng := rand.New(rand.NewSource(2))
+	stream := make([]uint64, 0, 80000)
+	for h := uint64(0); h < 10; h++ {
+		for i := 0; i < 3000; i++ {
+			stream = append(stream, h)
+		}
+	}
+	for m := 0; m < 50000; m++ {
+		stream = append(stream, 100+uint64(rng.Intn(20000)))
+	}
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	for _, id := range stream {
+		s.Update(k(id), 1)
+	}
+	hh := s.HeavyHitters(2500)
+	for h := uint64(0); h < 10; h++ {
+		if _, ok := hh[string(k(h))]; !ok {
+			t.Errorf("heavy flow %d missed", h)
+		}
+	}
+	for key, c := range hh {
+		id := uint64(binary.LittleEndian.Uint32([]byte(key)))
+		if id >= 10 && c > 4000 {
+			t.Errorf("mouse %d reported with count %d", id, c)
+		}
+	}
+}
+
+func TestCardinality(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 1 << 18, TopKLevels: 1, TopKEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.Update(k(uint64(i)), 1)
+	}
+	got := s.Cardinality()
+	if math.Abs(got-n)/n > 0.15 {
+		t.Errorf("cardinality %f want ~%d", got, n)
+	}
+}
+
+func TestEstimateDistribution(t *testing.T) {
+	s := newTest(t, 1<<18)
+	rng := rand.New(rand.NewSource(3))
+	truth := make([]float64, 5001)
+	for f := uint64(0); f < 5000; f++ {
+		size := 1 + rng.Intn(3)
+		if f%100 == 0 {
+			size = 1000 + rng.Intn(3000)
+		}
+		for i := 0; i < size; i++ {
+			s.Update(k(f), 1)
+		}
+		truth[size]++
+	}
+	dist, err := s.EstimateDistribution(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := metrics.WMRE(truth, dist); w > 0.6 {
+		t.Errorf("WMRE %f too high", w)
+	}
+}
+
+func TestMemoryAndReset(t *testing.T) {
+	s := newTest(t, 1<<16)
+	if s.MemoryBytes() > 1<<16 {
+		t.Errorf("memory %d over budget", s.MemoryBytes())
+	}
+	if s.HeavyMemoryBytes() >= s.MemoryBytes() {
+		t.Error("heavy part swallowed the whole budget")
+	}
+	s.Update(k(1), 500)
+	s.Reset()
+	if got := s.Estimate(k(1)); got != 0 {
+		t.Errorf("after reset %d", got)
+	}
+}
+
+func TestNoEvictionVariantBuilds(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 1 << 16, TopKLevels: 1, TopKEntries: 512,
+		NoEviction: true, LightRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		s.Update(k(uint64(i%50)), 1)
+	}
+	if got := s.Estimate(k(0)); got < 20 {
+		t.Errorf("estimate %d too low", got)
+	}
+}
+
+func BenchmarkUpdateElastic(b *testing.B) {
+	s, err := New(Config{MemoryBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var key [4]byte
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint32(key[:], uint32(i%100000))
+		s.Update(key[:], 1)
+	}
+}

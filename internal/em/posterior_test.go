@@ -1,0 +1,140 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/core"
+)
+
+// TestPosteriorMatchesBruteForce cross-checks one EM iteration against an
+// independent brute-force evaluation of the paper's update rule (Eqn. 1-2)
+// on a small instance: the expected flow counts contributed by each
+// virtual counter must equal Σ_β p(β|V,φ,n)·β_j computed directly from the
+// Poisson prior restricted to Ω(V,ξ).
+func TestPosteriorMatchesBruteForce(t *testing.T) {
+	const (
+		w1     = 16
+		theta1 = 6 // 3-bit leaves: capacity 6, overflow at 7
+	)
+	// One tree with three virtual counters: two degree-1 (values 3 and 9)
+	// and one degree-2 of value 17 (≥ 2·(θ1+1) = 14, feasible).
+	vcs := [][]core.VirtualCounter{{
+		{Value: 3, Degree: 1, Level: 1},
+		{Value: 9, Degree: 1, Level: 2},
+		{Value: 17, Degree: 2, Level: 2},
+	}}
+
+	// One iteration of the engine from a fixed initial distribution.
+	var got []float64
+	_, err := Run(Config{
+		W1: w1, Theta1: theta1, Iterations: 1, Workers: 1,
+		OnIteration: func(_ int, dist []float64) {
+			got = append([]float64(nil), dist...)
+		},
+	}, vcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconstruct the same initial guess the engine uses: value/degree
+	// per counter.
+	init := make([]float64, 18)
+	init[3] += 1 // V=3 deg 1
+	init[9] += 1 // V=9 deg 1
+	init[8] += 2 // V=17 deg 2 → two flows of size 8
+	lam := func(j int) float64 {
+		v := init[j]
+		if v < 1e-12 {
+			v = 1e-12
+		}
+		return v / w1
+	}
+
+	// Brute force: enumerate multisets exactly as §4.3 truncates them.
+	want := make([]float64, 18)
+	poisLogW := func(parts []int, xi int) float64 {
+		// log Π_j Poisson-weight with the e^-λ factors dropped (they
+		// cancel in the normalization): Σ log(λ_j·ξ) − log(mult!).
+		lw := 0.0
+		mult := map[int]int{}
+		for _, p := range parts {
+			lw += math.Log(lam(p) * float64(xi))
+			mult[p]++
+		}
+		for _, m := range mult {
+			for i := 2; i <= m; i++ {
+				lw -= math.Log(float64(i))
+			}
+		}
+		return lw
+	}
+	accumulate := func(combos [][]int, xi int) {
+		total := 0.0
+		ws := make([]float64, len(combos))
+		maxLog := math.Inf(-1)
+		for i, c := range combos {
+			ws[i] = poisLogW(c, xi)
+			if ws[i] > maxLog {
+				maxLog = ws[i]
+			}
+		}
+		for i := range ws {
+			ws[i] = math.Exp(ws[i] - maxLog)
+			total += ws[i]
+		}
+		for i, c := range combos {
+			for _, p := range c {
+				want[p] += ws[i] / total
+			}
+		}
+	}
+
+	// V=3, degree 1: partitions of 3 into ≤3 parts.
+	accumulate([][]int{{3}, {2, 1}, {1, 1, 1}}, 1)
+	// V=9, degree 1: partitions of 9 into ≤3 parts.
+	var nine [][]int
+	for a := 9; a >= 1; a-- {
+		bMax := 9 - a
+		if bMax > a {
+			bMax = a
+		}
+		for b := bMax; b >= 0; b-- {
+			c := 9 - a - b
+			if c < 0 || c > b {
+				continue
+			}
+			parts := []int{a}
+			if b > 0 {
+				parts = append(parts, b)
+			}
+			if c > 0 {
+				parts = append(parts, c)
+			}
+			if sum(parts) == 9 {
+				nine = append(nine, parts)
+			}
+		}
+	}
+	accumulate(nine, 1)
+	// V=17, degree 2: exactly 2 flows, each ≥ θ1+1 = 7: {10,7}, {9,8}.
+	accumulate([][]int{{10, 7}, {9, 8}}, 2)
+
+	for j := 1; j < len(want); j++ {
+		g := 0.0
+		if j < len(got) {
+			g = got[j]
+		}
+		if math.Abs(g-want[j]) > 1e-9 {
+			t.Errorf("size %d: engine %.12f brute force %.12f", j, g, want[j])
+		}
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"testing"
+)
+
+// These shape tests run the remaining experiment runners at the tiny test
+// scale and assert structural properties plus the paper's coarse ordering
+// claims that survive down-scaling.
+
+func TestRunFig7Shape(t *testing.T) {
+	tables, err := RunFig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	wm := tables[0]
+	if len(wm.Rows) != 5 {
+		t.Fatalf("%d rows", len(wm.Rows))
+	}
+	// The MRAC column is constant across k.
+	for _, row := range wm.Rows[1:] {
+		if row[1] != wm.Rows[0][1] {
+			t.Errorf("MRAC WMRE varies across k: %s vs %s", row[1], wm.Rows[0][1])
+		}
+	}
+	// All WMREs are positive and finite.
+	for _, tab := range tables {
+		for _, row := range tab.Rows {
+			for col := 1; col < len(row); col++ {
+				if v := parse(t, row[col]); v < 0 || v > 10 {
+					t.Errorf("%s k=%s col %d out of band: %f", tab.ID, row[0], col, v)
+				}
+			}
+		}
+	}
+}
+
+func TestRunFig10Shape(t *testing.T) {
+	tables, err := RunFig10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	are := tables[0]
+	if len(are.Rows) != 9 { // CM + 4 FCM + 4 FCM+TopK
+		t.Fatalf("%d rows", len(are.Rows))
+	}
+	if are.Rows[0][0] != "CM" {
+		t.Fatalf("first row %s", are.Rows[0][0])
+	}
+	// CM normalizes to exactly 1 everywhere.
+	for col := 1; col <= 4; col++ {
+		if v := parse(t, are.Rows[0][col]); v != 1 {
+			t.Errorf("CM norm col %d = %f", col, v)
+		}
+	}
+	// Headline: every FCM variant beats CM on every alpha (normalized <1).
+	for _, row := range are.Rows[1:] {
+		for col := 1; col <= 4; col++ {
+			if v := parse(t, row[col]); v >= 1 {
+				t.Errorf("%s col %d: normalized ARE %f not below CM", row[0], col, v)
+			}
+		}
+	}
+}
+
+func TestRunFig11Shape(t *testing.T) {
+	tables, err := RunFig11(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 9 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Values positive; MRAC row all ones.
+	for col := 1; col <= 4; col++ {
+		if v := parse(t, tab.Rows[0][col]); v != 1 {
+			t.Errorf("MRAC norm col %d = %f", col, v)
+		}
+	}
+	for _, row := range tab.Rows[1:] {
+		for col := 1; col <= 4; col++ {
+			if v := parse(t, row[col]); v <= 0 || v > 5 {
+				t.Errorf("%s col %d: normalized WMRE %f out of band", row[0], col, v)
+			}
+		}
+	}
+}
+
+func TestRunTable3Shape(t *testing.T) {
+	tables, err := RunTable3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 6 { // {FCM, FCM+TopK} × {2,3,4} trees
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Flow-size ARE should improve (or hold) with more trees for FCM —
+	// the paper's Table 3 trend.
+	var fcmARE []float64
+	for _, row := range tab.Rows {
+		if row[0] == "FCM" {
+			fcmARE = append(fcmARE, parse(t, row[2]))
+		}
+	}
+	if len(fcmARE) != 3 {
+		t.Fatalf("FCM rows %d", len(fcmARE))
+	}
+	if fcmARE[2] > fcmARE[0]*1.25 {
+		t.Errorf("4-tree ARE %f much worse than 2-tree %f", fcmARE[2], fcmARE[0])
+	}
+}
+
+func TestRunFig12Shape(t *testing.T) {
+	tables, err := RunFig12(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 6 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	are := tables[0]
+	if len(are.Rows) != 5 {
+		t.Fatalf("%d memory rows", len(are.Rows))
+	}
+	// ARE decreases (or holds) from the smallest to the largest memory
+	// for FCM.
+	first := parse(t, are.Rows[0][1])
+	last := parse(t, are.Rows[len(are.Rows)-1][1])
+	if last > first {
+		t.Errorf("FCM ARE grew with memory: %f -> %f", first, last)
+	}
+	// F1 and cardinality tables include the UnivMon column.
+	if len(tables[2].Headers) != 5 || len(tables[3].Headers) != 5 {
+		t.Errorf("headers: %v / %v", tables[2].Headers, tables[3].Headers)
+	}
+}
+
+func TestRunFig14Shape(t *testing.T) {
+	tables, err := RunFig14(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	res := tables[0]
+	if len(res.Rows) != 5 { // FCM, FCM+TopK, CM(2/4/8)+TopK
+		t.Fatalf("%d resource rows", len(res.Rows))
+	}
+	// FCM normalizes to 1.0 on every resource.
+	for col := 1; col <= 4; col++ {
+		if v := parse(t, res.Rows[0][col]); v != 1 {
+			t.Errorf("FCM resource col %d = %f", col, v)
+		}
+	}
+	// FCM+TopK needs 2x the stages of FCM (8 vs 4), as in the paper.
+	if v := parse(t, res.Rows[1][4]); v != 2 {
+		t.Errorf("FCM+TopK stage ratio %f, want 2", v)
+	}
+}
+
+func TestRunHeavyChangeShape(t *testing.T) {
+	tables, err := RunHeavyChange(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for col := 1; col <= 2; col++ {
+			if v := parse(t, row[col]); v < 0 || v > 1 {
+				t.Errorf("k=%s col %d F1 %f invalid", row[0], col, v)
+			}
+		}
+	}
+}
+
+func TestRunSpeedShape(t *testing.T) {
+	tables, err := RunSpeed(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 8 {
+		t.Fatalf("%d structures", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if v := parse(t, row[1]); v <= 0 {
+			t.Errorf("%s throughput %f", row[0], v)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/fcmsketch/fcm"
+	"github.com/fcmsketch/fcm/internal/cmsketch"
+	"github.com/fcmsketch/fcm/internal/elastic"
+	"github.com/fcmsketch/fcm/internal/exact"
+	"github.com/fcmsketch/fcm/internal/hashpipe"
+	"github.com/fcmsketch/fcm/internal/metrics"
+	"github.com/fcmsketch/fcm/internal/pyramid"
+	"github.com/fcmsketch/fcm/internal/univmon"
+)
+
+// RunHeavyChange evaluates heavy-change detection across adjacent windows
+// (§4.4). The paper omits the figure with a footnote — "the result is very
+// close to that of heavy hitter detection" — which this experiment checks:
+// the F1 of detected heavy changes should sit near Fig. 6c's F1 band.
+//
+// A stationary trace split in half has no heavy changes, so the second
+// window injects realistic ones: a set of previously-small flows burst far
+// past the threshold and a set of heavy flows go quiet.
+func RunHeavyChange(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	tr, err := o.caidaTrace()
+	if err != nil {
+		return nil, err
+	}
+	thr := o.HHThreshold() / 2 // per-window threshold
+	if thr < 1 {
+		thr = 1
+	}
+
+	// Per-flow counts of the two windows: an even split, then bursts and
+	// drops in window 2.
+	n := tr.NumFlows()
+	w1 := make([]uint64, n)
+	w2 := make([]uint64, n)
+	for i, s := range tr.Sizes {
+		w1[i] = uint64(s) / 2
+		w2[i] = uint64(s) - w1[i]
+	}
+	const bursts, drops = 15, 10
+	for b := 0; b < bursts; b++ {
+		// Mice from the middle of the rank order burst to ~4x threshold.
+		w2[n/2+b*7] += 4 * thr
+	}
+	for d := 0; d < drops && d < n; d++ {
+		if w2[d] > thr { // heavy head flows go quiet
+			w2[d] = w2[d] / 20
+		}
+	}
+
+	// Exact heavy changes.
+	prevT, curT := exact.New(), exact.New()
+	for i, kk := range tr.Keys {
+		if w1[i] > 0 {
+			prevT.UpdateKey(kk, w1[i])
+		}
+		if w2[i] > 0 {
+			curT.UpdateKey(kk, w2[i])
+		}
+	}
+	truth := exact.HeavyChanges(prevT, curT, thr)
+	truthSet := make(map[string]bool, len(truth))
+	for kk := range truth {
+		truthSet[string(kk.Bytes())] = true
+	}
+	o.logf("hc: %d true heavy changes at threshold %d", len(truthSet), thr)
+
+	t := &Table{ID: "hc", Title: "Heavy-change detection F1 across adjacent windows",
+		PaperNote: "footnote 4: results are very close to heavy-hitter detection (Fig. 6c)",
+		Headers:   []string{"k", "FCM F1", "FCM+TopK F1"}}
+
+	candidates := keyBytesOf(tr)
+	for _, k := range fig6Ks {
+		fw, err := fcm.NewFramework(fcm.Config{
+			MemoryBytes: o.MemoryBytes(), K: k, Seed: uint32(o.Seed)})
+		if err != nil {
+			return nil, err
+		}
+		for i, kk := range tr.Keys {
+			if w1[i] > 0 {
+				fw.Update(kk.Bytes(), w1[i])
+			}
+		}
+		fw.Rotate()
+		for i, kk := range tr.Keys {
+			if w2[i] > 0 {
+				fw.Update(kk.Bytes(), w2[i])
+			}
+		}
+		got, err := fw.HeavyChanges(candidates, thr)
+		if err != nil {
+			return nil, err
+		}
+		gotSet := make(map[string]bool, len(got))
+		for _, c := range got {
+			gotSet[c.Key] = true
+		}
+		fcmF1 := metrics.F1Sets(truthSet, gotSet)
+
+		// FCM+TopK via two independent window sketches.
+		tk1, err := newFCMTopK(o, 16, o.MemoryBytes())
+		if err != nil {
+			return nil, err
+		}
+		tk2, err := newFCMTopK(o, 16, o.MemoryBytes())
+		if err != nil {
+			return nil, err
+		}
+		for i, kk := range tr.Keys {
+			if w1[i] > 0 {
+				tk1.Update(kk.Bytes(), w1[i])
+			}
+			if w2[i] > 0 {
+				tk2.Update(kk.Bytes(), w2[i])
+			}
+		}
+		tkSet := make(map[string]bool)
+		for _, key := range candidates {
+			d := int64(tk2.Estimate(key)) - int64(tk1.Estimate(key))
+			if d >= int64(thr) || -d >= int64(thr) {
+				tkSet[string(key)] = true
+			}
+		}
+		t.AddRow(k, fcmF1, metrics.F1Sets(truthSet, tkSet))
+		o.logf("hc: k=%d done", k)
+	}
+	return []*Table{t}, nil
+}
+
+// RunSpeed measures single-core ingest throughput (packets/sec) for every
+// structure at the harness memory — the software side of §8.3's
+// accuracy-complexity trade-off (on PISA all run at line rate; in software
+// FCM costs more hashes than CM but stays in the same order).
+func RunSpeed(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	tr, err := o.caidaTrace()
+	if err != nil {
+		return nil, err
+	}
+	mem := o.MemoryBytes()
+
+	type variant struct {
+		name string
+		u    interface{ Update([]byte, uint64) }
+	}
+	var variants []variant
+	add := func(name string, u interface{ Update([]byte, uint64) }, err error) error {
+		if err != nil {
+			return fmt.Errorf("speed: %s: %w", name, err)
+		}
+		variants = append(variants, variant{name, u})
+		return nil
+	}
+	f, err := newFCM(o, 8, mem)
+	if err := add("FCM", f, err); err != nil {
+		return nil, err
+	}
+	ft, err := newFCMTopK(o, 16, mem)
+	if err := add("FCM+TopK", ft, err); err != nil {
+		return nil, err
+	}
+	cm, err := cmsketch.New(cmsketch.Config{MemoryBytes: mem, Rows: 3})
+	if err := add("CM", cm, err); err != nil {
+		return nil, err
+	}
+	cu, err := cmsketch.New(cmsketch.Config{MemoryBytes: mem, Rows: 3, Conservative: true})
+	if err := add("CU", cu, err); err != nil {
+		return nil, err
+	}
+	pcm, err := pyramid.New(pyramid.Config{MemoryBytes: mem})
+	if err := add("PCM", pcm, err); err != nil {
+		return nil, err
+	}
+	hp, err := hashpipe.New(hashpipe.Config{MemoryBytes: mem, Stages: 6})
+	if err := add("HashPipe", hp, err); err != nil {
+		return nil, err
+	}
+	el, err := elastic.New(elastic.Config{MemoryBytes: mem, TopKLevels: 4,
+		TopKEntries: max(16, mem/(4*4*13))})
+	if err := add("Elastic", el, err); err != nil {
+		return nil, err
+	}
+	umLevels := 16
+	if cap := mem / (3 * 136); umLevels > cap {
+		umLevels = cap
+	}
+	um, err := univmon.New(univmon.Config{MemoryBytes: mem, Levels: umLevels,
+		HeapSize: max(8, mem/(2*umLevels*12))})
+	if err := add("UnivMon", um, err); err != nil {
+		return nil, err
+	}
+
+	t := &Table{ID: "speed", Title: "Single-core ingest throughput (million packets/sec)",
+		PaperNote: "§8.3: FCM needs more sequential work than CM in software; on PISA both run at line rate",
+		Headers:   []string{"structure", "Mpps"}}
+	for _, v := range variants {
+		start := time.Now()
+		tr.ForEachPacket(func(_ int, key []byte) { v.u.Update(key, 1) })
+		sec := time.Since(start).Seconds()
+		t.AddRow(v.name, float64(tr.NumPackets())/sec/1e6)
+		o.logf("speed: %s done", v.name)
+	}
+	return []*Table{t}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/fcmsketch/fcm"
+	"github.com/fcmsketch/fcm/internal/elastic"
+	"github.com/fcmsketch/fcm/internal/metrics"
+	"github.com/fcmsketch/fcm/internal/univmon"
+)
+
+// fig12Fractions sweeps memory from 0.5MB to 2.5MB (scaled).
+var fig12Fractions = []float64{0.5, 1.0, 1.5, 2.0, 2.5}
+
+// RunFig12 reproduces Fig. 12: the six measurement tasks across a memory
+// sweep, comparing FCM (8-ary) and FCM+TopK (16-ary) with ElasticSketch
+// and UnivMon.
+func RunFig12(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	tr, err := o.caidaTrace()
+	if err != nil {
+		return nil, err
+	}
+	thr := o.HHThreshold()
+	truthDist := trueDistribution(tr)
+	truthH := trueEntropy(tr)
+
+	are := &Table{ID: "fig12a", Title: "ARE of flow size vs memory",
+		PaperNote: "at 1.5MB FCM 50% and FCM+TopK 63% below ElasticSketch",
+		Headers:   []string{"MB(scaled)", "FCM", "FCM+TopK", "Elastic"}}
+	aae := &Table{ID: "fig12b", Title: "AAE of flow size vs memory",
+		PaperNote: "at 1.5MB FCM 54% and FCM+TopK 63% below ElasticSketch",
+		Headers:   []string{"MB(scaled)", "FCM", "FCM+TopK", "Elastic"}}
+	f1 := &Table{ID: "fig12c", Title: "Heavy-hitter F1 vs memory",
+		PaperNote: "FCM ≥99.4%, FCM+TopK ≥99.7%, all ≥99.9% at ≥1MB; UnivMon clearly lower",
+		Headers:   []string{"MB(scaled)", "FCM", "FCM+TopK", "Elastic", "UnivMon"}}
+	card := &Table{ID: "fig12d", Title: "Cardinality RE vs memory",
+		PaperNote: "FCM and FCM+TopK >10x lower RE than Elastic and UnivMon at all sizes",
+		Headers:   []string{"MB(scaled)", "FCM", "FCM+TopK", "Elastic", "UnivMon"}}
+	wmre := &Table{ID: "fig12e", Title: "Flow size distribution WMRE vs memory",
+		PaperNote: "all three perform well; FCM+TopK always lowest",
+		Headers:   []string{"MB(scaled)", "FCM", "FCM+TopK", "Elastic"}}
+	ent := &Table{ID: "fig12f", Title: "Entropy RE vs memory",
+		PaperNote: "at 1.5MB FCM 34%/80% below Elastic/UnivMon; FCM+TopK 69% below FCM",
+		Headers:   []string{"MB(scaled)", "FCM", "FCM+TopK", "Elastic", "UnivMon"}}
+
+	emo := &fcm.EMOptions{Iterations: o.EMIterations, Workers: o.Workers}
+	for _, frac := range fig12Fractions {
+		mem := int(frac / 1.5 * float64(o.MemoryBytes()))
+		label := fmt.Sprintf("%.1f", frac)
+
+		f, err := newFCM(o, 8, mem)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %sMB fcm: %w", label, err)
+		}
+		ft, err := newFCMTopK(o, 16, mem)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %sMB fcm+topk: %w", label, err)
+		}
+		// ElasticSketch software config (§7.2): 4 levels of 8K-entry
+		// Top-K, clamped so the heavy part never claims more than a
+		// quarter of the budget (same reasoning as Options.TopKEntries).
+		elEntries := 8192
+		if cap := mem / (4 * 4 * 13); elEntries > cap {
+			elEntries = cap
+		}
+		if elEntries < 16 {
+			elEntries = 16
+		}
+		el, err := elastic.New(elastic.Config{
+			MemoryBytes: mem,
+			TopKLevels:  4,
+			TopKEntries: elEntries,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %sMB elastic: %w", label, err)
+		}
+		// UnivMon (§7.2): 16 levels with 2K-entry heaps, clamped so the
+		// heaps never claim more than half the budget; at extreme
+		// down-scales the level count shrinks too so the config stays
+		// instantiable.
+		umLevels := 16
+		if cap := mem / (3 * 136); umLevels > cap { // ≥136B minimum per level
+			umLevels = cap
+		}
+		if umLevels < 2 {
+			umLevels = 2
+		}
+		umHeap := 2000
+		if cap := mem / (2 * umLevels * 12); umHeap > cap {
+			umHeap = cap
+		}
+		if umHeap < 8 {
+			umHeap = 8
+		}
+		um, err := univmon.New(univmon.Config{
+			MemoryBytes: mem,
+			Levels:      umLevels,
+			HeapSize:    umHeap,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %sMB univmon: %w", label, err)
+		}
+		ingest(tr, f, ft, el, um)
+
+		fARE, fAAE := flowErrors(tr, f)
+		tARE, tAAE := flowErrors(tr, ft)
+		eARE, eAAE := flowErrors(tr, el)
+		are.AddRow(label, fARE, tARE, eARE)
+		aae.AddRow(label, fAAE, tAAE, eAAE)
+		f1.AddRow(label,
+			hhF1ByQuery(tr, f, thr),
+			hhF1ByQuery(tr, ft, thr),
+			hhF1BySet(tr, el.HeavyHitters(thr), thr),
+			hhF1BySet(tr, um.HeavyHitters(thr), thr))
+		card.AddRow(label,
+			cardRE(tr, f.Cardinality()),
+			cardRE(tr, ft.Cardinality()),
+			cardRE(tr, el.Cardinality()),
+			cardRE(tr, um.Cardinality()))
+
+		fd, err := f.FlowSizeDistribution(emo)
+		if err != nil {
+			return nil, err
+		}
+		td, err := ft.FlowSizeDistribution(emo)
+		if err != nil {
+			return nil, err
+		}
+		ed, err := el.EstimateDistribution(o.EMIterations, o.Workers)
+		if err != nil {
+			return nil, err
+		}
+		wmre.AddRow(label,
+			metrics.WMRE(truthDist, fd),
+			metrics.WMRE(truthDist, td),
+			metrics.WMRE(truthDist, ed))
+		ent.AddRow(label,
+			metrics.RE(truthH, fcm.EntropyOf(fd)),
+			metrics.RE(truthH, fcm.EntropyOf(td)),
+			metrics.RE(truthH, fcm.EntropyOf(ed)),
+			metrics.RE(truthH, um.Entropy()))
+		o.logf("fig12: %sMB done", label)
+	}
+	return []*Table{are, aae, f1, card, wmre, ent}, nil
+}

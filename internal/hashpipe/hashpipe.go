@@ -1,0 +1,178 @@
+// Package hashpipe implements HashPipe (Sivaraman et al., SOSR 2017 [54]),
+// the heavy-hitter baseline of §7.1: a pipeline of d (=6) key-value tables.
+// The first stage always inserts the incoming key, evicting the occupant;
+// later stages either merge the carried key, claim an empty slot, or swap
+// with a smaller occupant, so large flows settle in the pipe while mice
+// wash out.
+package hashpipe
+
+import (
+	"fmt"
+
+	"github.com/fcmsketch/fcm/internal/hashing"
+)
+
+// slot is one key-value table entry.
+type slot struct {
+	key   [13]byte
+	klen  uint8
+	count uint64
+	used  bool
+}
+
+func (s *slot) matches(key []byte) bool {
+	if !s.used || int(s.klen) != len(key) {
+		return false
+	}
+	for i, b := range key {
+		if s.key[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *slot) set(key []byte, count uint64) {
+	copy(s.key[:], key)
+	s.klen = uint8(len(key))
+	s.count = count
+	s.used = true
+}
+
+// Sketch is a HashPipe pipeline.
+type Sketch struct {
+	stages  [][]slot
+	hashers []hashing.Hasher
+	w       int
+	keySize int
+}
+
+// Config parameterizes HashPipe.
+type Config struct {
+	// MemoryBytes is the table budget; each slot costs KeySize+4 bytes
+	// (the accounting the paper uses for key-value tables).
+	MemoryBytes int
+	// Stages is the pipeline depth d (paper: 6).
+	Stages int
+	// KeySize is the flow-key byte length used for memory accounting
+	// (default 4, source IP).
+	KeySize int
+	// Hash supplies the stage hash functions; nil selects BobHash.
+	Hash hashing.Family
+}
+
+// New builds a HashPipe instance.
+func New(cfg Config) (*Sketch, error) {
+	if cfg.Stages <= 0 {
+		return nil, fmt.Errorf("hashpipe: Stages must be positive, got %d", cfg.Stages)
+	}
+	ks := cfg.KeySize
+	if ks == 0 {
+		ks = 4
+	}
+	if ks > 13 {
+		return nil, fmt.Errorf("hashpipe: KeySize %d exceeds 13", ks)
+	}
+	slotBytes := ks + 4
+	w := cfg.MemoryBytes / (slotBytes * cfg.Stages)
+	if w < 1 {
+		return nil, fmt.Errorf("hashpipe: memory %dB too small for %d stages", cfg.MemoryBytes, cfg.Stages)
+	}
+	fam := cfg.Hash
+	if fam == nil {
+		fam = hashing.NewBobFamily(0x8a5b71e)
+	}
+	s := &Sketch{w: w, keySize: ks}
+	for i := 0; i < cfg.Stages; i++ {
+		s.stages = append(s.stages, make([]slot, w))
+		s.hashers = append(s.hashers, fam.New(i))
+	}
+	return s, nil
+}
+
+// Update implements sketch.Updater.
+func (s *Sketch) Update(key []byte, inc uint64) {
+	// Stage 1: always insert, evicting the occupant downstream.
+	i := hashing.Reduce(s.hashers[0].Hash(key), s.w)
+	sl := &s.stages[0][i]
+	if sl.matches(key) {
+		sl.count += inc
+		return
+	}
+	var carryKey [13]byte
+	var carryLen uint8
+	var carryCount uint64
+	haveCarry := false
+	if sl.used {
+		carryKey, carryLen, carryCount = sl.key, sl.klen, sl.count
+		haveCarry = true
+	}
+	sl.set(key, inc)
+
+	for st := 1; st < len(s.stages) && haveCarry; st++ {
+		ck := carryKey[:carryLen]
+		j := hashing.Reduce(s.hashers[st].Hash(ck), s.w)
+		sl := &s.stages[st][j]
+		switch {
+		case sl.matches(ck):
+			sl.count += carryCount
+			haveCarry = false
+		case !sl.used:
+			sl.set(ck, carryCount)
+			haveCarry = false
+		case carryCount > sl.count:
+			// Swap: the larger flow stays, the smaller continues.
+			carryKey, sl.key = sl.key, carryKey
+			carryLen, sl.klen = sl.klen, carryLen
+			carryCount, sl.count = sl.count, carryCount
+		}
+	}
+	// A carry surviving the last stage is dropped (HashPipe's design).
+}
+
+// Estimate implements sketch.Estimator: the sum of this key's counts over
+// all stages (a key can occupy multiple stages after swaps).
+func (s *Sketch) Estimate(key []byte) uint64 {
+	total := uint64(0)
+	for st := range s.stages {
+		i := hashing.Reduce(s.hashers[st].Hash(key), s.w)
+		if s.stages[st][i].matches(key) {
+			total += s.stages[st][i].count
+		}
+	}
+	return total
+}
+
+// HeavyHitters returns every tracked key with aggregate count ≥ threshold.
+func (s *Sketch) HeavyHitters(threshold uint64) map[string]uint64 {
+	agg := make(map[string]uint64)
+	for st := range s.stages {
+		for i := range s.stages[st] {
+			sl := &s.stages[st][i]
+			if sl.used {
+				agg[string(sl.key[:sl.klen])] += sl.count
+			}
+		}
+	}
+	hh := make(map[string]uint64)
+	for k, c := range agg {
+		if c >= threshold {
+			hh[k] = c
+		}
+	}
+	return hh
+}
+
+// MemoryBytes implements sketch.Sized.
+func (s *Sketch) MemoryBytes() int {
+	return len(s.stages) * s.w * (s.keySize + 4)
+}
+
+// Reset implements sketch.Resettable.
+func (s *Sketch) Reset() {
+	for st := range s.stages {
+		for i := range s.stages[st] {
+			s.stages[st][i] = slot{}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package hll implements HyperLogLog (Flajolet et al. [27]), the paper's
+// cardinality baseline (§7.1: an 8-bit register array). The estimator uses
+// the standard bias correction plus linear counting for the small range;
+// with a 64-bit hash the large-range correction is unnecessary.
+package hll
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fcmsketch/fcm/internal/hashing"
+)
+
+// Sketch is a HyperLogLog cardinality estimator.
+type Sketch struct {
+	registers []uint8
+	p         uint // precision: m = 2^p registers
+	hasher    hashing.Hasher
+}
+
+// Config parameterizes the sketch.
+type Config struct {
+	// MemoryBytes sets the register count: the largest power of two that
+	// fits (one byte per register, per the paper's implementation).
+	MemoryBytes int
+	// Hash supplies the hash function; nil selects xxHash64.
+	Hash hashing.Family
+}
+
+// New builds a HyperLogLog sketch.
+func New(cfg Config) (*Sketch, error) {
+	if cfg.MemoryBytes < 16 {
+		return nil, fmt.Errorf("hll: memory %dB too small (need ≥ 16)", cfg.MemoryBytes)
+	}
+	p := uint(0)
+	for (1 << (p + 1)) <= cfg.MemoryBytes {
+		p++
+	}
+	if p > 31 {
+		p = 31
+	}
+	fam := cfg.Hash
+	if fam == nil {
+		fam = hashing.NewXX64Family(0x417e11)
+	}
+	return &Sketch{registers: make([]uint8, 1<<p), p: p, hasher: fam.New(0)}, nil
+}
+
+// Update implements sketch.Updater. The increment is ignored: cardinality
+// depends only on key occurrence.
+func (s *Sketch) Update(key []byte, _ uint64) {
+	h := s.hasher.Hash(key)
+	idx := h >> (64 - s.p)
+	rest := h<<s.p | 1<<(s.p-1) // low bits; sentinel bounds rho
+	rho := uint8(1)
+	for rest&(1<<63) == 0 {
+		rho++
+		rest <<= 1
+	}
+	if rho > s.registers[idx] {
+		s.registers[idx] = rho
+	}
+}
+
+// Cardinality implements sketch.CardinalityEstimator.
+func (s *Sketch) Cardinality() float64 {
+	m := float64(len(s.registers))
+	sum := 0.0
+	zeros := 0
+	for _, r := range s.registers {
+		sum += math.Exp2(-float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	est := alpha(len(s.registers)) * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		// Small-range correction: linear counting.
+		return m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// alpha is the standard HLL bias-correction constant.
+func alpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/float64(m))
+	}
+}
+
+// MemoryBytes implements sketch.Sized.
+func (s *Sketch) MemoryBytes() int { return len(s.registers) }
+
+// Registers returns the number of registers m.
+func (s *Sketch) Registers() int { return len(s.registers) }
+
+// Reset implements sketch.Resettable.
+func (s *Sketch) Reset() {
+	for i := range s.registers {
+		s.registers[i] = 0
+	}
+}
+
+// Merge folds another sketch of identical geometry into s (register-wise
+// max), the standard distributed-HLL union.
+func (s *Sketch) Merge(o *Sketch) error {
+	if len(o.registers) != len(s.registers) {
+		return fmt.Errorf("hll: merge size mismatch: %d vs %d", len(o.registers), len(s.registers))
+	}
+	for i, r := range o.registers {
+		if r > s.registers[i] {
+			s.registers[i] = r
+		}
+	}
+	return nil
+}

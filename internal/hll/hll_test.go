@@ -1,0 +1,143 @@
+package hll
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func k(i uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Config{MemoryBytes: 4}); err == nil {
+		t.Error("expected error for tiny memory")
+	}
+}
+
+func TestRegistersPowerOfTwo(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Registers() != 2048 {
+		t.Errorf("registers %d want 2048", s.Registers())
+	}
+	if s.MemoryBytes() != 2048 {
+		t.Errorf("memory %d", s.MemoryBytes())
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	cases := []struct {
+		mem int
+		n   int
+		tol float64
+	}{
+		{1 << 12, 1000, 0.05},  // small-range (linear counting)
+		{1 << 12, 100000, 0.1}, // HLL core estimator, ~1.04/sqrt(4096)≈1.6%
+		{1 << 14, 500000, 0.05},
+	}
+	for _, c := range cases {
+		s, err := New(Config{MemoryBytes: c.mem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < c.n; i++ {
+			s.Update(k(uint64(i)), 1)
+		}
+		got := s.Cardinality()
+		if re := math.Abs(got-float64(c.n)) / float64(c.n); re > c.tol {
+			t.Errorf("mem=%d n=%d: estimate %f (RE %f > %f)", c.mem, c.n, got, re, c.tol)
+		}
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 10; rep++ {
+		for i := 0; i < 500; i++ {
+			s.Update(k(uint64(i)), 7)
+		}
+	}
+	got := s.Cardinality()
+	if math.Abs(got-500)/500 > 0.1 {
+		t.Errorf("estimate %f want ~500", got)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Cardinality(); got != 0 {
+		t.Errorf("empty cardinality %f", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		s.Update(k(uint64(i)), 1)
+	}
+	s.Reset()
+	if got := s.Cardinality(); got != 0 {
+		t.Errorf("after reset %f", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, _ := New(Config{MemoryBytes: 1 << 12})
+	b, _ := New(Config{MemoryBytes: 1 << 12})
+	for i := 0; i < 3000; i++ {
+		a.Update(k(uint64(i)), 1)
+	}
+	for i := 2000; i < 5000; i++ {
+		b.Update(k(uint64(i)), 1)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got := a.Cardinality()
+	if math.Abs(got-5000)/5000 > 0.1 {
+		t.Errorf("merged estimate %f want ~5000", got)
+	}
+	c, _ := New(Config{MemoryBytes: 64})
+	if err := a.Merge(c); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	s, _ := New(Config{MemoryBytes: 1 << 10})
+	prev := 0.0
+	for i := 0; i < 20000; i++ {
+		s.Update(k(uint64(i)), 1)
+		if i%2000 == 1999 {
+			got := s.Cardinality()
+			if got < prev*0.95 {
+				t.Fatalf("estimate dropped sharply: %f after %f", got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func BenchmarkUpdateHLL(b *testing.B) {
+	s, _ := New(Config{MemoryBytes: 1 << 14})
+	var key [8]byte
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(key[:], uint64(i))
+		s.Update(key[:], 1)
+	}
+}

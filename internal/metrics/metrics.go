@@ -1,0 +1,114 @@
+// Package metrics implements the evaluation metrics of the FCM paper
+// (§7.2, Table 2): ARE, AAE, F1-score, WMRE and RE.
+package metrics
+
+import "math"
+
+// ARE is the Average Relative Error: (1/N) Σ |est−true|/true. Flows with a
+// true count of zero are skipped (they cannot be normalized).
+func ARE(truth, est []float64) float64 {
+	if len(truth) != len(est) {
+		panic("metrics: ARE length mismatch")
+	}
+	sum, n := 0.0, 0
+	for i := range truth {
+		if truth[i] == 0 {
+			continue
+		}
+		sum += math.Abs(est[i]-truth[i]) / truth[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AAE is the Average Absolute Error: (1/N) Σ |est−true|.
+func AAE(truth, est []float64) float64 {
+	if len(truth) != len(est) {
+		panic("metrics: AAE length mismatch")
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range truth {
+		sum += math.Abs(est[i] - truth[i])
+	}
+	return sum / float64(len(truth))
+}
+
+// RE is the Relative Error of a scalar estimate: |est−true|/true.
+func RE(truth, est float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}
+
+// PrecisionRecall scores a reported set against a true set (both given as
+// membership maps keyed by any comparable type is not expressible here, so
+// the harness passes counts: true positives, reported, actual).
+func PrecisionRecall(truePositives, reported, actual int) (precision, recall float64) {
+	if reported > 0 {
+		precision = float64(truePositives) / float64(reported)
+	}
+	if actual > 0 {
+		recall = float64(truePositives) / float64(actual)
+	}
+	return precision, recall
+}
+
+// F1 combines precision and recall: 2PR/(P+R).
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// F1Sets computes the F1 score directly from a true set and a reported set
+// represented as maps from an opaque string key to anything truthy.
+func F1Sets[K comparable, A, B any](truth map[K]A, reported map[K]B) float64 {
+	tp := 0
+	for k := range reported {
+		if _, ok := truth[k]; ok {
+			tp++
+		}
+	}
+	p, r := PrecisionRecall(tp, len(reported), len(truth))
+	return F1(p, r)
+}
+
+// WMRE is the Weighted Mean Relative Error between two flow-size
+// distributions (Kumar et al. [38]):
+//
+//	WMRE = Σ_i |n_i − n̂_i| / Σ_i (n_i + n̂_i)/2
+//
+// The shorter slice is implicitly zero-padded.
+func WMRE(truth, est []float64) float64 {
+	n := len(truth)
+	if len(est) > n {
+		n = len(est)
+	}
+	num, den := 0.0, 0.0
+	at := func(s []float64, i int) float64 {
+		if i < len(s) {
+			return s[i]
+		}
+		return 0
+	}
+	for i := 1; i < n; i++ {
+		ti, ei := at(truth, i), at(est, i)
+		num += math.Abs(ti - ei)
+		den += (ti + ei) / 2
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestARE(t *testing.T) {
+	truth := []float64{10, 20, 0, 40}
+	est := []float64{11, 18, 5, 40}
+	// |1|/10 + |2|/20 + skip + 0 → (0.1+0.1)/3 flows counted
+	want := (0.1 + 0.1 + 0) / 3
+	if got := ARE(truth, est); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ARE = %f, want %f", got, want)
+	}
+	if ARE(nil, nil) != 0 {
+		t.Error("empty ARE should be 0")
+	}
+	if ARE([]float64{0}, []float64{5}) != 0 {
+		t.Error("all-zero-truth ARE should be 0")
+	}
+}
+
+func TestAAE(t *testing.T) {
+	truth := []float64{10, 20, 30}
+	est := []float64{12, 19, 30}
+	want := (2.0 + 1.0 + 0.0) / 3
+	if got := AAE(truth, est); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AAE = %f, want %f", got, want)
+	}
+	if AAE(nil, nil) != 0 {
+		t.Error("empty AAE should be 0")
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"ARE": func() { ARE([]float64{1}, nil) },
+		"AAE": func() { AAE([]float64{1}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRE(t *testing.T) {
+	if got := RE(100, 90); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RE = %f", got)
+	}
+	if got := RE(0, 0); got != 0 {
+		t.Errorf("RE(0,0) = %f", got)
+	}
+	if got := RE(0, 1); !math.IsInf(got, 1) {
+		t.Errorf("RE(0,1) = %f, want +Inf", got)
+	}
+}
+
+func TestF1(t *testing.T) {
+	p, r := PrecisionRecall(8, 10, 16)
+	if p != 0.8 || r != 0.5 {
+		t.Errorf("P=%f R=%f", p, r)
+	}
+	want := 2 * 0.8 * 0.5 / 1.3
+	if got := F1(p, r); math.Abs(got-want) > 1e-12 {
+		t.Errorf("F1 = %f want %f", got, want)
+	}
+	if F1(0, 0) != 0 {
+		t.Error("F1(0,0) should be 0")
+	}
+	p, r = PrecisionRecall(0, 0, 0)
+	if p != 0 || r != 0 {
+		t.Errorf("degenerate PR = %f,%f", p, r)
+	}
+}
+
+func TestF1Sets(t *testing.T) {
+	truth := map[string]int{"a": 1, "b": 2, "c": 3}
+	reported := map[string]bool{"a": true, "b": true, "x": true}
+	// tp=2, P=2/3, R=2/3 → F1 = 2/3
+	if got := F1Sets(truth, reported); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("F1Sets = %f", got)
+	}
+	if got := F1Sets(truth, truth); got != 1 {
+		t.Errorf("perfect F1Sets = %f", got)
+	}
+	if got := F1Sets(truth, map[string]bool{}); got != 0 {
+		t.Errorf("empty report F1Sets = %f", got)
+	}
+}
+
+func TestWMRE(t *testing.T) {
+	truth := []float64{0, 10, 5} // sizes 1,2
+	est := []float64{0, 8, 5, 1} // sizes 1,2,3 (padded comparison)
+	num := math.Abs(10.0-8) + math.Abs(5.0-5) + math.Abs(0.0-1)
+	den := (10.0+8)/2 + (5.0+5)/2 + (0.0+1)/2
+	if got := WMRE(truth, est); math.Abs(got-num/den) > 1e-12 {
+		t.Errorf("WMRE = %f want %f", got, num/den)
+	}
+	if WMRE(nil, nil) != 0 {
+		t.Error("empty WMRE should be 0")
+	}
+}
+
+func TestWMREIdentical(t *testing.T) {
+	f := func(raw []uint8) bool {
+		d := make([]float64, len(raw)+1)
+		for i, v := range raw {
+			d[i+1] = float64(v)
+		}
+		return WMRE(d, d) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWMREBounded(t *testing.T) {
+	// WMRE is at most 2 (disjoint supports).
+	truth := []float64{0, 10, 0}
+	est := []float64{0, 0, 10}
+	if got := WMRE(truth, est); math.Abs(got-2) > 1e-12 {
+		t.Errorf("disjoint WMRE = %f, want 2", got)
+	}
+}
+
+func TestAREQuickNonNegative(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		truth := make([]float64, n)
+		est := make([]float64, n)
+		for i := 0; i < n; i++ {
+			truth[i] = float64(a[i])
+			est[i] = float64(b[i])
+		}
+		return ARE(truth, est) >= 0 && AAE(truth, est) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

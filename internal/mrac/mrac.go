@@ -1,0 +1,92 @@
+// Package mrac implements MRAC (Kumar et al., "Data streaming algorithms
+// for efficient and accurate estimation of flow size distribution",
+// SIGMETRICS 2004 [38]) — the flow-size-distribution baseline of the FCM
+// paper. MRAC is a single array of counters; its estimation step runs the
+// same EM machinery as FCM with every counter treated as a degree-1
+// virtual counter with one path.
+package mrac
+
+import (
+	"fmt"
+
+	"github.com/fcmsketch/fcm/internal/core"
+	"github.com/fcmsketch/fcm/internal/em"
+	"github.com/fcmsketch/fcm/internal/hashing"
+)
+
+// Sketch is a single-array counting sketch for FSD estimation.
+type Sketch struct {
+	counters []uint32
+	hasher   hashing.Hasher
+}
+
+// Config parameterizes MRAC.
+type Config struct {
+	// MemoryBytes sets the array size: MemoryBytes/4 32-bit counters.
+	MemoryBytes int
+	// Hash supplies the hash function; nil selects BobHash.
+	Hash hashing.Family
+}
+
+// New builds an MRAC sketch.
+func New(cfg Config) (*Sketch, error) {
+	w := cfg.MemoryBytes / 4
+	if w < 1 {
+		return nil, fmt.Errorf("mrac: memory %dB too small", cfg.MemoryBytes)
+	}
+	fam := cfg.Hash
+	if fam == nil {
+		fam = hashing.NewBobFamily(0x00ac1dc0)
+	}
+	return &Sketch{counters: make([]uint32, w), hasher: fam.New(0)}, nil
+}
+
+// Update implements sketch.Updater.
+func (s *Sketch) Update(key []byte, inc uint64) {
+	i := hashing.Reduce(s.hasher.Hash(key), len(s.counters))
+	sum := uint64(s.counters[i]) + inc
+	if sum > 0xffffffff {
+		sum = 0xffffffff
+	}
+	s.counters[i] = uint32(sum)
+}
+
+// Estimate implements sketch.Estimator (single-row Count-Min semantics).
+func (s *Sketch) Estimate(key []byte) uint64 {
+	return uint64(s.counters[hashing.Reduce(s.hasher.Hash(key), len(s.counters))])
+}
+
+// MemoryBytes implements sketch.Sized.
+func (s *Sketch) MemoryBytes() int { return 4 * len(s.counters) }
+
+// Width returns the number of counters.
+func (s *Sketch) Width() int { return len(s.counters) }
+
+// Reset implements sketch.Resettable.
+func (s *Sketch) Reset() {
+	for i := range s.counters {
+		s.counters[i] = 0
+	}
+}
+
+// VirtualCounters exposes the array as degree-1 virtual counters so the
+// shared EM engine can run on it.
+func (s *Sketch) VirtualCounters() []core.VirtualCounter {
+	vcs := make([]core.VirtualCounter, len(s.counters))
+	for i, v := range s.counters {
+		vcs[i] = core.VirtualCounter{Value: uint64(v), Degree: 1, Level: 1}
+	}
+	return vcs
+}
+
+// EstimateDistribution runs EM and returns the estimated flow-size
+// distribution. iterations ≤ 0 selects the engine default. onIter, when
+// non-nil, observes the estimate after each round.
+func (s *Sketch) EstimateDistribution(iterations, workers int, onIter func(int, []float64)) (*em.Result, error) {
+	return em.Run(em.Config{
+		W1:          len(s.counters),
+		Iterations:  iterations,
+		Workers:     workers,
+		OnIteration: onIter,
+	}, [][]core.VirtualCounter{s.VirtualCounters()})
+}

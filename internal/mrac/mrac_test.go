@@ -1,0 +1,105 @@
+package mrac
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/metrics"
+)
+
+func k(i uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Config{MemoryBytes: 2}); err == nil {
+		t.Error("expected error for tiny memory")
+	}
+}
+
+func TestUpdateEstimate(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Update(k(1), 5)
+	s.Update(k(1), 2)
+	if got := s.Estimate(k(1)); got != 7 {
+		t.Errorf("estimate %d want 7", got)
+	}
+	if s.MemoryBytes() != 1<<16 {
+		t.Errorf("memory %d", s.MemoryBytes())
+	}
+	if s.Width() != 1<<14 {
+		t.Errorf("width %d", s.Width())
+	}
+	s.Reset()
+	if got := s.Estimate(k(1)); got != 0 {
+		t.Errorf("after reset %d", got)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Update(k(1), 1<<34)
+	s.Update(k(1), 1)
+	if got := s.Estimate(k(1)); got != 0xffffffff {
+		t.Errorf("saturated estimate %d", got)
+	}
+}
+
+func TestVirtualCounters(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Update(k(1), 9)
+	vcs := s.VirtualCounters()
+	if len(vcs) != 16 {
+		t.Fatalf("vc count %d", len(vcs))
+	}
+	sum := uint64(0)
+	for _, vc := range vcs {
+		if vc.Degree != 1 {
+			t.Fatalf("degree %d", vc.Degree)
+		}
+		sum += vc.Value
+	}
+	if sum != 9 {
+		t.Errorf("vc sum %d want 9", sum)
+	}
+}
+
+func TestEstimateDistribution(t *testing.T) {
+	s, err := New(Config{MemoryBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	truth := make([]float64, 2001)
+	for f := uint64(0); f < 4000; f++ {
+		size := 1 + rng.Intn(3)
+		if f%80 == 0 {
+			size = 300 + rng.Intn(1500)
+		}
+		s.Update(k(f), uint64(size))
+		truth[size]++
+	}
+	res, err := s.EstimateDistribution(6, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := metrics.WMRE(truth, res.Dist); w > 0.5 {
+		t.Errorf("MRAC WMRE %f too high", w)
+	}
+	if math.Abs(res.N-4000)/4000 > 0.15 {
+		t.Errorf("N %f want ~4000", res.N)
+	}
+}

@@ -1,0 +1,327 @@
+// Package packet defines flow keys and the link/network/transport header
+// parsing and encoding needed to ingest pcap traces. The FCM paper keys
+// flows by source IP (§7.2); the package also supports the full 5-tuple for
+// applications that need finer classification.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Proto identifies a transport protocol by its IP protocol number.
+type Proto uint8
+
+// Common IP protocol numbers.
+const (
+	ProtoICMP Proto = 1
+	ProtoTCP  Proto = 6
+	ProtoUDP  Proto = 17
+)
+
+// String implements fmt.Stringer.
+func (p Proto) String() string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// FiveTuple is the classic flow 5-tuple. Addresses are stored as 4-byte
+// IPv4 values; IPv6 addresses are folded to their low 4 bytes when building
+// a FiveTuple from a parsed packet (the traces used in the paper are IPv4).
+type FiveTuple struct {
+	SrcIP   [4]byte
+	DstIP   [4]byte
+	SrcPort uint16
+	DstPort uint16
+	Proto   Proto
+}
+
+// String implements fmt.Stringer.
+func (t FiveTuple) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d/%s",
+		netip.AddrFrom4(t.SrcIP), t.SrcPort, netip.AddrFrom4(t.DstIP), t.DstPort, t.Proto)
+}
+
+// KeyKind selects how a packet is mapped to a flow key.
+type KeyKind int
+
+// Supported flow-key granularities.
+const (
+	// KeySrcIP keys flows by the 4-byte source IP — the paper's default.
+	KeySrcIP KeyKind = iota
+	// KeyDstIP keys flows by destination IP.
+	KeyDstIP
+	// KeySrcDst keys flows by the (src, dst) pair.
+	KeySrcDst
+	// KeyFiveTuple keys flows by the full 5-tuple.
+	KeyFiveTuple
+)
+
+// KeySize returns the encoded byte length of keys of this kind.
+func (k KeyKind) KeySize() int {
+	switch k {
+	case KeySrcIP, KeyDstIP:
+		return 4
+	case KeySrcDst:
+		return 8
+	case KeyFiveTuple:
+		return 13
+	default:
+		return 4
+	}
+}
+
+// Key is an encoded flow key. Keys are comparable and usable as map keys.
+// Only the first Len bytes are meaningful.
+type Key struct {
+	Buf [13]byte
+	Len uint8
+}
+
+// Bytes returns the key's byte representation, suitable for hashing.
+func (k *Key) Bytes() []byte { return k.Buf[:k.Len] }
+
+// String implements fmt.Stringer.
+func (k Key) String() string {
+	switch k.Len {
+	case 4:
+		return netip.AddrFrom4([4]byte(k.Buf[0:4])).String()
+	case 8:
+		return netip.AddrFrom4([4]byte(k.Buf[0:4])).String() + "->" +
+			netip.AddrFrom4([4]byte(k.Buf[4:8])).String()
+	case 13:
+		return fmt.Sprintf("%s:%d->%s:%d/%s",
+			netip.AddrFrom4([4]byte(k.Buf[0:4])),
+			binary.BigEndian.Uint16(k.Buf[8:10]),
+			netip.AddrFrom4([4]byte(k.Buf[4:8])),
+			binary.BigEndian.Uint16(k.Buf[10:12]),
+			Proto(k.Buf[12]))
+	default:
+		return fmt.Sprintf("key(%x)", k.Buf[:k.Len])
+	}
+}
+
+// KeyOf builds the key of the requested kind from a 5-tuple.
+func KeyOf(t FiveTuple, kind KeyKind) Key {
+	var k Key
+	switch kind {
+	case KeySrcIP:
+		copy(k.Buf[0:4], t.SrcIP[:])
+		k.Len = 4
+	case KeyDstIP:
+		copy(k.Buf[0:4], t.DstIP[:])
+		k.Len = 4
+	case KeySrcDst:
+		copy(k.Buf[0:4], t.SrcIP[:])
+		copy(k.Buf[4:8], t.DstIP[:])
+		k.Len = 8
+	case KeyFiveTuple:
+		copy(k.Buf[0:4], t.SrcIP[:])
+		copy(k.Buf[4:8], t.DstIP[:])
+		binary.BigEndian.PutUint16(k.Buf[8:10], t.SrcPort)
+		binary.BigEndian.PutUint16(k.Buf[10:12], t.DstPort)
+		k.Buf[12] = byte(t.Proto)
+		k.Len = 13
+	}
+	return k
+}
+
+// Packet is a decoded packet: its flow 5-tuple and wire length. The sketch
+// layer counts either packets or bytes depending on configuration.
+type Packet struct {
+	Tuple FiveTuple
+	// Len is the original (wire) length in bytes.
+	Len int
+	// TS is the capture timestamp in nanoseconds since the epoch.
+	TS int64
+}
+
+// Key returns the packet's flow key of the given kind.
+func (p *Packet) Key(kind KeyKind) Key { return KeyOf(p.Tuple, kind) }
+
+// ---------------------------------------------------------------------------
+// Header parsing
+// ---------------------------------------------------------------------------
+
+// EtherTypes understood by the parser.
+const (
+	etherTypeIPv4 = 0x0800
+	etherTypeIPv6 = 0x86dd
+	etherTypeVLAN = 0x8100
+	etherHdrLen   = 14
+)
+
+// ErrTruncated is returned when a frame is too short for its headers.
+type ErrTruncated struct{ Layer string }
+
+// Error implements error.
+func (e *ErrTruncated) Error() string { return "packet: truncated " + e.Layer + " header" }
+
+// ErrUnsupported is returned for frames the parser does not understand
+// (non-IP ethertypes, unknown IP versions).
+type ErrUnsupported struct{ What string }
+
+// Error implements error.
+func (e *ErrUnsupported) Error() string { return "packet: unsupported " + e.What }
+
+// ParseEthernet decodes an Ethernet II frame down to the transport layer
+// and returns the flow 5-tuple. VLAN (802.1Q) tags are skipped. Port fields
+// are zero for non-TCP/UDP payloads.
+func ParseEthernet(frame []byte) (FiveTuple, error) {
+	if len(frame) < etherHdrLen {
+		return FiveTuple{}, &ErrTruncated{"ethernet"}
+	}
+	etherType := binary.BigEndian.Uint16(frame[12:14])
+	off := etherHdrLen
+	for etherType == etherTypeVLAN {
+		if len(frame) < off+4 {
+			return FiveTuple{}, &ErrTruncated{"vlan"}
+		}
+		etherType = binary.BigEndian.Uint16(frame[off+2 : off+4])
+		off += 4
+	}
+	switch etherType {
+	case etherTypeIPv4:
+		return ParseIPv4(frame[off:])
+	case etherTypeIPv6:
+		return ParseIPv6(frame[off:])
+	default:
+		return FiveTuple{}, &ErrUnsupported{fmt.Sprintf("ethertype 0x%04x", etherType)}
+	}
+}
+
+// ParseIPv4 decodes an IPv4 packet (starting at the IP header) into a flow
+// 5-tuple.
+func ParseIPv4(b []byte) (FiveTuple, error) {
+	if len(b) < 20 {
+		return FiveTuple{}, &ErrTruncated{"ipv4"}
+	}
+	if b[0]>>4 != 4 {
+		return FiveTuple{}, &ErrUnsupported{"ip version"}
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < 20 || len(b) < ihl {
+		return FiveTuple{}, &ErrTruncated{"ipv4 options"}
+	}
+	var t FiveTuple
+	t.Proto = Proto(b[9])
+	copy(t.SrcIP[:], b[12:16])
+	copy(t.DstIP[:], b[16:20])
+	// Fragments past the first have no transport header.
+	fragOff := binary.BigEndian.Uint16(b[6:8]) & 0x1fff
+	if fragOff == 0 {
+		fillPorts(&t, b[ihl:])
+	}
+	return t, nil
+}
+
+// ParseIPv6 decodes an IPv6 packet into a flow 5-tuple. The 16-byte
+// addresses are folded to their low 4 bytes so the key layout matches IPv4.
+// Extension headers are not traversed; packets whose next header is not
+// TCP/UDP get zero ports.
+func ParseIPv6(b []byte) (FiveTuple, error) {
+	if len(b) < 40 {
+		return FiveTuple{}, &ErrTruncated{"ipv6"}
+	}
+	if b[0]>>4 != 6 {
+		return FiveTuple{}, &ErrUnsupported{"ip version"}
+	}
+	var t FiveTuple
+	t.Proto = Proto(b[6])
+	copy(t.SrcIP[:], b[8+12:8+16])
+	copy(t.DstIP[:], b[24+12:24+16])
+	fillPorts(&t, b[40:])
+	return t, nil
+}
+
+// fillPorts extracts src/dst ports for TCP and UDP payloads.
+func fillPorts(t *FiveTuple, l4 []byte) {
+	switch t.Proto {
+	case ProtoTCP, ProtoUDP:
+		if len(l4) >= 4 {
+			t.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+			t.DstPort = binary.BigEndian.Uint16(l4[2:4])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Header encoding (used by the trace generator to emit valid pcap frames)
+// ---------------------------------------------------------------------------
+
+// EncodeEthernetIPv4 builds a minimal but well-formed Ethernet+IPv4+TCP/UDP
+// frame for the given tuple with payloadLen payload bytes (zeros). The
+// result parses back to the same tuple via ParseEthernet.
+func EncodeEthernetIPv4(t FiveTuple, payloadLen int) []byte {
+	l4len := 0
+	switch t.Proto {
+	case ProtoTCP:
+		l4len = 20
+	case ProtoUDP:
+		l4len = 8
+	}
+	ipLen := 20 + l4len + payloadLen
+	frame := make([]byte, etherHdrLen+ipLen)
+
+	// Ethernet: locally administered MACs, IPv4 ethertype.
+	copy(frame[0:6], []byte{0x02, 0, 0, 0, 0, 0x02})
+	copy(frame[6:12], []byte{0x02, 0, 0, 0, 0, 0x01})
+	binary.BigEndian.PutUint16(frame[12:14], etherTypeIPv4)
+
+	ip := frame[etherHdrLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipLen))
+	ip[8] = 64 // TTL
+	ip[9] = byte(t.Proto)
+	copy(ip[12:16], t.SrcIP[:])
+	copy(ip[16:20], t.DstIP[:])
+	binary.BigEndian.PutUint16(ip[10:12], ipv4Checksum(ip[:20]))
+
+	l4 := ip[20:]
+	switch t.Proto {
+	case ProtoTCP:
+		binary.BigEndian.PutUint16(l4[0:2], t.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], t.DstPort)
+		l4[12] = 5 << 4 // data offset
+		l4[13] = 0x10   // ACK
+	case ProtoUDP:
+		binary.BigEndian.PutUint16(l4[0:2], t.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], t.DstPort)
+		binary.BigEndian.PutUint16(l4[4:6], uint16(8+payloadLen))
+	}
+	return frame
+}
+
+// ipv4Checksum computes the standard Internet checksum over the header with
+// the checksum field treated as zero.
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ValidateIPv4Checksum reports whether the header checksum of an encoded
+// IPv4 header is correct.
+func ValidateIPv4Checksum(hdr []byte) bool {
+	if len(hdr) < 20 {
+		return false
+	}
+	return binary.BigEndian.Uint16(hdr[10:12]) == ipv4Checksum(hdr[:20])
+}

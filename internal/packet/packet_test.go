@@ -1,0 +1,222 @@
+package packet
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func tuple() FiveTuple {
+	return FiveTuple{
+		SrcIP:   [4]byte{10, 0, 0, 1},
+		DstIP:   [4]byte{192, 168, 1, 2},
+		SrcPort: 12345,
+		DstPort: 443,
+		Proto:   ProtoTCP,
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	for _, proto := range []Proto{ProtoTCP, ProtoUDP, ProtoICMP} {
+		tu := tuple()
+		tu.Proto = proto
+		if proto == ProtoICMP {
+			tu.SrcPort, tu.DstPort = 0, 0
+		}
+		frame := EncodeEthernetIPv4(tu, 16)
+		got, err := ParseEthernet(frame)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", proto, err)
+		}
+		if got != tu {
+			t.Errorf("%s: round trip mismatch: got %+v want %+v", proto, got, tu)
+		}
+	}
+}
+
+func TestEncodeParseQuick(t *testing.T) {
+	f := func(src, dst [4]byte, sp, dp uint16, udp bool, payload uint8) bool {
+		tu := FiveTuple{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: ProtoTCP}
+		if udp {
+			tu.Proto = ProtoUDP
+		}
+		frame := EncodeEthernetIPv4(tu, int(payload))
+		got, err := ParseEthernet(frame)
+		return err == nil && got == tu
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumValid(t *testing.T) {
+	frame := EncodeEthernetIPv4(tuple(), 0)
+	if !ValidateIPv4Checksum(frame[etherHdrLen:]) {
+		t.Error("encoded IPv4 header has invalid checksum")
+	}
+	// Corrupt a byte: checksum must fail.
+	frame[etherHdrLen+12] ^= 0xff
+	if ValidateIPv4Checksum(frame[etherHdrLen:]) {
+		t.Error("corrupted header still validates")
+	}
+}
+
+func TestParseVLAN(t *testing.T) {
+	inner := EncodeEthernetIPv4(tuple(), 0)
+	// Splice a VLAN tag between the MAC addresses and the ethertype.
+	frame := make([]byte, 0, len(inner)+4)
+	frame = append(frame, inner[:12]...)
+	frame = append(frame, 0x81, 0x00, 0x00, 0x64) // VLAN 100
+	frame = append(frame, inner[12:]...)
+	got, err := ParseEthernet(frame)
+	if err != nil {
+		t.Fatalf("parse vlan: %v", err)
+	}
+	if got != tuple() {
+		t.Errorf("vlan round trip mismatch: %+v", got)
+	}
+}
+
+func TestParseIPv6(t *testing.T) {
+	b := make([]byte, 40+8)
+	b[0] = 6 << 4
+	b[6] = byte(ProtoUDP)
+	// Low 4 bytes of the addresses become the folded key.
+	copy(b[8+12:8+16], []byte{1, 2, 3, 4})
+	copy(b[24+12:24+16], []byte{5, 6, 7, 8})
+	binary.BigEndian.PutUint16(b[40:42], 53)
+	binary.BigEndian.PutUint16(b[42:44], 5353)
+	got, err := ParseIPv6(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FiveTuple{SrcIP: [4]byte{1, 2, 3, 4}, DstIP: [4]byte{5, 6, 7, 8},
+		SrcPort: 53, DstPort: 5353, Proto: ProtoUDP}
+	if got != want {
+		t.Errorf("got %+v want %+v", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"empty", nil},
+		{"short ethernet", make([]byte, 10)},
+		{"short ipv4", append(make([]byte, 12), 0x08, 0x00, 0x45)},
+		{"bad ethertype", append(make([]byte, 12), 0x08, 0x06, 1, 2, 3, 4, 5, 6, 7, 8)},
+	}
+	for _, c := range cases {
+		if _, err := ParseEthernet(c.frame); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Wrong IP version inside an IPv4 ethertype.
+	frame := EncodeEthernetIPv4(tuple(), 0)
+	frame[etherHdrLen] = 0x65
+	if _, err := ParseEthernet(frame); err == nil {
+		t.Error("wrong ip version: expected error")
+	}
+}
+
+func TestParseIPv4Options(t *testing.T) {
+	// Build a header with IHL=6 (one 4-byte option word).
+	tu := tuple()
+	base := EncodeEthernetIPv4(tu, 0)[etherHdrLen:]
+	withOpts := make([]byte, len(base)+4)
+	copy(withOpts, base[:20])
+	withOpts[0] = 0x46 // IHL 6
+	// options: 4 NOPs
+	copy(withOpts[20:24], []byte{1, 1, 1, 1})
+	copy(withOpts[24:], base[20:])
+	got, err := ParseIPv4(withOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tu {
+		t.Errorf("options parse mismatch: %+v", got)
+	}
+}
+
+func TestFragmentHasNoPorts(t *testing.T) {
+	tu := tuple()
+	frame := EncodeEthernetIPv4(tu, 0)
+	ip := frame[etherHdrLen:]
+	binary.BigEndian.PutUint16(ip[6:8], 100) // fragment offset 100
+	got, err := ParseEthernet(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 0 || got.DstPort != 0 {
+		t.Errorf("non-first fragment should have zero ports, got %+v", got)
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	tu := tuple()
+	cases := []struct {
+		kind KeyKind
+		len  uint8
+	}{
+		{KeySrcIP, 4}, {KeyDstIP, 4}, {KeySrcDst, 8}, {KeyFiveTuple, 13},
+	}
+	for _, c := range cases {
+		k := KeyOf(tu, c.kind)
+		if k.Len != c.len {
+			t.Errorf("kind %d: len %d want %d", c.kind, k.Len, c.len)
+		}
+		if int(c.len) != c.kind.KeySize() {
+			t.Errorf("kind %d: KeySize %d disagrees with key len %d", c.kind, c.kind.KeySize(), c.len)
+		}
+	}
+	if k := KeyOf(tu, KeySrcIP); k.Buf[0] != 10 || k.Buf[3] != 1 {
+		t.Errorf("srcip key wrong: %v", k.Buf[:4])
+	}
+	if k := KeyOf(tu, KeyDstIP); k.Buf[0] != 192 {
+		t.Errorf("dstip key wrong: %v", k.Buf[:4])
+	}
+}
+
+func TestKeyComparable(t *testing.T) {
+	a := KeyOf(tuple(), KeyFiveTuple)
+	b := KeyOf(tuple(), KeyFiveTuple)
+	if a != b {
+		t.Error("identical tuples produce unequal keys")
+	}
+	m := map[Key]int{a: 1}
+	if m[b] != 1 {
+		t.Error("key not usable as map key")
+	}
+	tu2 := tuple()
+	tu2.SrcPort++
+	if KeyOf(tu2, KeyFiveTuple) == a {
+		t.Error("different tuples produce equal 5-tuple keys")
+	}
+	if KeyOf(tu2, KeySrcIP) != KeyOf(tuple(), KeySrcIP) {
+		t.Error("srcIP key should ignore ports")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	tu := tuple()
+	if got := KeyOf(tu, KeySrcIP).String(); got != "10.0.0.1" {
+		t.Errorf("srcip string = %q", got)
+	}
+	if got := KeyOf(tu, KeyFiveTuple).String(); got != "10.0.0.1:12345->192.168.1.2:443/tcp" {
+		t.Errorf("5-tuple string = %q", got)
+	}
+	if got := (FiveTuple{SrcIP: [4]byte{1, 1, 1, 1}, Proto: 89}).String(); got == "" {
+		t.Error("empty tuple string")
+	}
+}
+
+func BenchmarkParseEthernet(b *testing.B) {
+	frame := EncodeEthernetIPv4(tuple(), 64)
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseEthernet(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

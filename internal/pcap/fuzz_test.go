@@ -1,0 +1,47 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzReader checks the reader never panics or over-allocates on arbitrary
+// byte streams.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid one-record little-endian file.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkEthernet, 65535, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Write(1, 4, []byte{1, 2, 3, 4}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// A big-endian header.
+	var be [24]byte
+	binary.BigEndian.PutUint32(be[0:4], MagicNanos)
+	f.Add(be[:])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := r.Next(); err != nil {
+				if err != io.EOF {
+					return
+				}
+				break
+			}
+		}
+	})
+}

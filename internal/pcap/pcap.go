@@ -1,0 +1,235 @@
+// Package pcap reads and writes classic libpcap capture files without any
+// external dependency. It understands both byte orders and both the
+// microsecond (0xa1b2c3d4) and nanosecond (0xa1b23c4d) timestamp magics,
+// which covers the CAIDA trace format the FCM paper evaluates on.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Magic numbers for the classic pcap format.
+const (
+	MagicMicros = 0xa1b2c3d4
+	MagicNanos  = 0xa1b23c4d
+)
+
+// LinkType values (subset relevant to IP traces).
+const (
+	// LinkEthernet is DLT_EN10MB.
+	LinkEthernet = 1
+	// LinkRaw is DLT_RAW: packets start directly at the IP header, the
+	// format CAIDA anonymized traces use.
+	LinkRaw = 101
+)
+
+// Header is the per-file pcap global header.
+type Header struct {
+	// Nanos is true when timestamps carry nanosecond resolution.
+	Nanos bool
+	// VersionMajor and VersionMinor are the pcap format version (2.4).
+	VersionMajor, VersionMinor uint16
+	// SnapLen is the per-packet capture limit.
+	SnapLen uint32
+	// LinkType identifies the layer-2 framing.
+	LinkType uint32
+}
+
+// Record is one captured packet record.
+type Record struct {
+	// TS is the capture time in nanoseconds since the Unix epoch.
+	TS int64
+	// OrigLen is the packet's original wire length.
+	OrigLen uint32
+	// Data is the captured bytes (possibly truncated to SnapLen).
+	Data []byte
+}
+
+// ErrBadMagic indicates the file does not start with a known pcap magic.
+var ErrBadMagic = errors.New("pcap: bad magic number")
+
+// Reader decodes a pcap stream record by record.
+type Reader struct {
+	r     *bufio.Reader
+	order binary.ByteOrder
+	hdr   Header
+	buf   []byte
+	// reuse controls whether Next may return a buffer that is overwritten
+	// by the following Next call. It is on by default for speed; callers
+	// that retain packet bytes should call Retain.
+	reuse bool
+}
+
+// NewReader parses the global header from r and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var raw [24]byte
+	if _, err := io.ReadFull(br, raw[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading global header: %w", err)
+	}
+	var order binary.ByteOrder
+	var nanos bool
+	switch binary.LittleEndian.Uint32(raw[0:4]) {
+	case MagicMicros:
+		order = binary.LittleEndian
+	case MagicNanos:
+		order, nanos = binary.LittleEndian, true
+	default:
+		switch binary.BigEndian.Uint32(raw[0:4]) {
+		case MagicMicros:
+			order = binary.BigEndian
+		case MagicNanos:
+			order, nanos = binary.BigEndian, true
+		default:
+			return nil, ErrBadMagic
+		}
+	}
+	rd := &Reader{r: br, order: order, reuse: true}
+	rd.hdr = Header{
+		Nanos:        nanos,
+		VersionMajor: order.Uint16(raw[4:6]),
+		VersionMinor: order.Uint16(raw[6:8]),
+		SnapLen:      order.Uint32(raw[16:20]),
+		LinkType:     order.Uint32(raw[20:24]),
+	}
+	return rd, nil
+}
+
+// Header returns the decoded global header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Retain disables buffer reuse: every Record.Data returned after this call
+// is a fresh allocation the caller may keep.
+func (r *Reader) Retain() { r.reuse = false }
+
+// Next returns the next record, or io.EOF at the end of the stream. Unless
+// Retain was called, the returned Data is only valid until the next call.
+func (r *Reader) Next() (Record, error) {
+	var rh [16]byte
+	if _, err := io.ReadFull(r.r, rh[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("pcap: reading record header: %w", err)
+	}
+	sec := r.order.Uint32(rh[0:4])
+	frac := r.order.Uint32(rh[4:8])
+	capLen := r.order.Uint32(rh[8:12])
+	origLen := r.order.Uint32(rh[12:16])
+	if r.hdr.SnapLen > 0 && capLen > r.hdr.SnapLen+65535 {
+		return Record{}, fmt.Errorf("pcap: implausible capture length %d", capLen)
+	}
+	var data []byte
+	if r.reuse {
+		if cap(r.buf) < int(capLen) {
+			r.buf = make([]byte, capLen)
+		}
+		data = r.buf[:capLen]
+	} else {
+		data = make([]byte, capLen)
+	}
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcap: reading %d packet bytes: %w", capLen, err)
+	}
+	ts := int64(sec) * 1e9
+	if r.hdr.Nanos {
+		ts += int64(frac)
+	} else {
+		ts += int64(frac) * 1e3
+	}
+	return Record{TS: ts, OrigLen: origLen, Data: data}, nil
+}
+
+// Writer encodes pcap records. It always writes little-endian files.
+type Writer struct {
+	w     *bufio.Writer
+	nanos bool
+	snap  uint32
+}
+
+// NewWriter writes a global header to w and returns a Writer. linkType is
+// typically LinkEthernet or LinkRaw; nanos selects nanosecond timestamps.
+func NewWriter(w io.Writer, linkType uint32, snapLen uint32, nanos bool) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [24]byte
+	magic := uint32(MagicMicros)
+	if nanos {
+		magic = MagicNanos
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2)
+	binary.LittleEndian.PutUint16(hdr[6:8], 4)
+	binary.LittleEndian.PutUint32(hdr[16:20], snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linkType)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: writing global header: %w", err)
+	}
+	return &Writer{w: bw, nanos: nanos, snap: snapLen}, nil
+}
+
+// Write appends one record. Data longer than the snap length is truncated;
+// origLen records the wire length.
+func (w *Writer) Write(tsNanos int64, origLen int, data []byte) error {
+	if w.snap > 0 && len(data) > int(w.snap) {
+		data = data[:w.snap]
+	}
+	var rh [16]byte
+	sec := tsNanos / 1e9
+	frac := tsNanos % 1e9
+	if !w.nanos {
+		frac /= 1e3
+	}
+	binary.LittleEndian.PutUint32(rh[0:4], uint32(sec))
+	binary.LittleEndian.PutUint32(rh[4:8], uint32(frac))
+	binary.LittleEndian.PutUint32(rh[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(rh[12:16], uint32(origLen))
+	if _, err := w.w.Write(rh[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(data)
+	return err
+}
+
+// Flush writes any buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// OpenFile opens path and returns a Reader plus a closer for the file.
+func OpenFile(path string) (*Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+// CreateFile creates path and returns a Writer plus a flush-and-close
+// function.
+func CreateFile(path string, linkType uint32, snapLen uint32, nanos bool) (*Writer, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := NewWriter(f, linkType, snapLen, nanos)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	closeFn := func() error {
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return w, closeFn, nil
+}

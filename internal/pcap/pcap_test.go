@@ -1,0 +1,251 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	for _, nanos := range []bool{false, true} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, LinkEthernet, 65535, nanos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type pkt struct {
+			ts   int64
+			orig int
+			data []byte
+		}
+		pkts := []pkt{
+			{1_500_000_000_000_000_000, 64, []byte{1, 2, 3, 4}},
+			{1_500_000_000_123_456_000, 1500, bytes.Repeat([]byte{0xab}, 128)},
+			{1_500_000_001_000_000_789, 40, []byte{}},
+		}
+		for _, p := range pkts {
+			if err := w.Write(p.ts, p.orig, p.data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Header().LinkType != LinkEthernet {
+			t.Errorf("link type %d", r.Header().LinkType)
+		}
+		if r.Header().Nanos != nanos {
+			t.Errorf("nanos flag %v want %v", r.Header().Nanos, nanos)
+		}
+		for i, p := range pkts {
+			rec, err := r.Next()
+			if err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+			wantTS := p.ts
+			if !nanos {
+				wantTS = wantTS / 1e3 * 1e3 // microsecond truncation
+			}
+			if rec.TS != wantTS {
+				t.Errorf("record %d: ts %d want %d", i, rec.TS, wantTS)
+			}
+			if int(rec.OrigLen) != p.orig {
+				t.Errorf("record %d: origlen %d want %d", i, rec.OrigLen, p.orig)
+			}
+			if !bytes.Equal(rec.Data, p.data) {
+				t.Errorf("record %d: data mismatch", i)
+			}
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Errorf("expected EOF, got %v", err)
+		}
+	}
+}
+
+func TestBigEndianRead(t *testing.T) {
+	// Hand-build a big-endian microsecond file with one record.
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:4], MagicMicros)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkRaw)
+	buf.Write(hdr[:])
+	var rh [16]byte
+	binary.BigEndian.PutUint32(rh[0:4], 100)  // sec
+	binary.BigEndian.PutUint32(rh[4:8], 7)    // usec
+	binary.BigEndian.PutUint32(rh[8:12], 3)   // caplen
+	binary.BigEndian.PutUint32(rh[12:16], 60) // origlen
+	buf.Write(rh[:])
+	buf.Write([]byte{9, 8, 7})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header().LinkType != LinkRaw {
+		t.Errorf("linktype %d", r.Header().LinkType)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TS != 100*1e9+7*1e3 {
+		t.Errorf("ts %d", rec.TS)
+	}
+	if rec.OrigLen != 60 || !bytes.Equal(rec.Data, []byte{9, 8, 7}) {
+		t.Errorf("record %+v", rec)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer(make([]byte, 24))
+	if _, err := NewReader(buf); err != ErrBadMagic {
+		t.Errorf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0xd4, 0xc3})
+	if _, err := NewReader(buf); err == nil {
+		t.Error("expected error for truncated header")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkEthernet, 65535, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(0, 100, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the stream mid-record.
+	cut := buf.Bytes()[:24+16+10]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("expected error reading truncated record body")
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkEthernet, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{1}, 100)
+	if err := w.Write(0, 100, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != 16 || rec.OrigLen != 100 {
+		t.Errorf("caplen %d origlen %d", len(rec.Data), rec.OrigLen)
+	}
+}
+
+func TestRetain(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkEthernet, 65535, false)
+	w.Write(0, 1, []byte{1})
+	w.Write(0, 1, []byte{2})
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Retain()
+	a, _ := r.Next()
+	b, _ := r.Next()
+	if a.Data[0] != 1 || b.Data[0] != 2 {
+		t.Errorf("retained buffers overwritten: %v %v", a.Data, b.Data)
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.pcap")
+	w, closeFn, err := CreateFile(path, LinkRaw, 262144, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(42, 3, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	r, c, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TS != 42 || !bytes.Equal(rec.Data, []byte{1, 2, 3}) {
+		t.Errorf("record %+v", rec)
+	}
+	if _, _, err := OpenFile(filepath.Join(t.TempDir(), "missing.pcap")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	if !os.IsNotExist(err) && err != nil {
+		t.Logf("open error (ok): %v", err)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(tsRaw uint32, data []byte) bool {
+		ts := int64(tsRaw) * 1e3 // microsecond-aligned, in range
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, LinkEthernet, 65535, false)
+		if err != nil {
+			return false
+		}
+		if err := w.Write(ts, len(data), data); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		rec, err := r.Next()
+		if err != nil {
+			return false
+		}
+		return rec.TS == ts && bytes.Equal(rec.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,372 @@
+// Package pisa models a PISA (Tofino-like) switching pipeline: per-stage
+// budgets of SRAM blocks, stateful ALUs, hash bits, TCAM, match-crossbar
+// bytes and VLIW action slots across a fixed number of physical stages.
+//
+// A compiler places the FCM-Sketch, FCM+TopK and CM(d)+TopK data planes
+// into stages under those budgets and reports the allocation, reproducing
+// the resource results of §8.3 (Fig. 14a, Tables 4 and 5). A Switch then
+// executes packets against the placed program; because every per-stage
+// operation is a single read-modify-write on one register array — exactly
+// Algorithm 1 — the hardware FCM-Sketch is bit-identical to the software
+// one, while FCM+TopK inherits the single-level no-eviction filter
+// approximation of §8.1.
+package pisa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Limits describes the pipeline's per-stage resource budgets. The defaults
+// follow public Tofino 1 figures closely enough to reproduce the paper's
+// utilization percentages.
+type Limits struct {
+	// Stages is the number of physical match-action stages.
+	Stages int
+	// SRAMBlocksPerStage and SRAMBlockBytes size the per-stage SRAM.
+	SRAMBlocksPerStage int
+	SRAMBlockBytes     int
+	// SALUsPerStage is the number of stateful ALUs (register actions).
+	SALUsPerStage int
+	// HashBitsPerStage is the hash-distribution-unit output width.
+	HashBitsPerStage int
+	// TCAMBlocksPerStage and TCAMBlockEntries size the ternary tables.
+	TCAMBlocksPerStage int
+	TCAMBlockEntries   int
+	// CrossbarBytesPerStage is the match-input crossbar capacity.
+	CrossbarBytesPerStage int
+	// VLIWPerStage is the number of VLIW action slots.
+	VLIWPerStage int
+}
+
+// DefaultLimits returns the Tofino-like model used throughout §8.
+func DefaultLimits() Limits {
+	return Limits{
+		Stages:                12,
+		SRAMBlocksPerStage:    80,
+		SRAMBlockBytes:        16 << 10,
+		SALUsPerStage:         4,
+		HashBitsPerStage:      416,
+		TCAMBlocksPerStage:    24,
+		TCAMBlockEntries:      512,
+		CrossbarBytesPerStage: 128,
+		VLIWPerStage:          32,
+	}
+}
+
+// StageAlloc is the resource usage of one pipeline stage.
+type StageAlloc struct {
+	SRAMBlocks    int
+	SALUs         int
+	HashBits      int
+	TCAMBlocks    int
+	CrossbarBytes int
+	VLIW          int
+}
+
+// add accumulates o into s.
+func (s *StageAlloc) add(o StageAlloc) {
+	s.SRAMBlocks += o.SRAMBlocks
+	s.SALUs += o.SALUs
+	s.HashBits += o.HashBits
+	s.TCAMBlocks += o.TCAMBlocks
+	s.CrossbarBytes += o.CrossbarBytes
+	s.VLIW += o.VLIW
+}
+
+// fits reports whether s is within the per-stage limits l.
+func (s StageAlloc) fits(l Limits) bool {
+	return s.SRAMBlocks <= l.SRAMBlocksPerStage &&
+		s.SALUs <= l.SALUsPerStage &&
+		s.HashBits <= l.HashBitsPerStage &&
+		s.TCAMBlocks <= l.TCAMBlocksPerStage &&
+		s.CrossbarBytes <= l.CrossbarBytesPerStage &&
+		s.VLIW <= l.VLIWPerStage
+}
+
+// Allocation is a program's placement across stages.
+type Allocation struct {
+	Name   string
+	Limits Limits
+	Stages []StageAlloc
+}
+
+// NumStages returns the number of physical stages the program occupies.
+func (a *Allocation) NumStages() int { return len(a.Stages) }
+
+// Totals sums the per-stage usage.
+func (a *Allocation) Totals() StageAlloc {
+	var t StageAlloc
+	for _, s := range a.Stages {
+		t.add(s)
+	}
+	return t
+}
+
+// Utilization returns each resource's fraction of the whole pipeline's
+// capacity, keyed by resource name — the quantities of Table 4.
+func (a *Allocation) Utilization() map[string]float64 {
+	l := a.Limits
+	t := a.Totals()
+	n := float64(l.Stages)
+	return map[string]float64{
+		"SRAM":          float64(t.SRAMBlocks) / (n * float64(l.SRAMBlocksPerStage)),
+		"StatefulALUs":  float64(t.SALUs) / (n * float64(l.SALUsPerStage)),
+		"HashBits":      float64(t.HashBits) / (n * float64(l.HashBitsPerStage)),
+		"TCAM":          float64(t.TCAMBlocks) / (n * float64(l.TCAMBlocksPerStage)),
+		"MatchCrossbar": float64(t.CrossbarBytes) / (n * float64(l.CrossbarBytesPerStage)),
+		"VLIWActions":   float64(t.VLIW) / (n * float64(l.VLIWPerStage)),
+	}
+}
+
+// checkFits validates every stage against the limits.
+func (a *Allocation) checkFits() error {
+	if len(a.Stages) > a.Limits.Stages {
+		return fmt.Errorf("pisa: %s needs %d stages, pipeline has %d",
+			a.Name, len(a.Stages), a.Limits.Stages)
+	}
+	for i, s := range a.Stages {
+		if !s.fits(a.Limits) {
+			return fmt.Errorf("pisa: %s stage %d exceeds per-stage limits: %+v", a.Name, i, s)
+		}
+	}
+	return nil
+}
+
+// sramBlocks converts a byte size to SRAM blocks.
+func sramBlocks(bytes int, l Limits) int {
+	if bytes == 0 {
+		return 0
+	}
+	return (bytes + l.SRAMBlockBytes - 1) / l.SRAMBlockBytes
+}
+
+// hashBitsFor is the hash width needed to index n entries.
+func hashBitsFor(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// FCMGeometry describes an FCM-Sketch for compilation.
+type FCMGeometry struct {
+	Trees     int
+	K         int
+	LeafWidth int
+	// Widths are per-stage counter bits, leaves first.
+	Widths []int
+	// KeyBytes is the flow-key width fed to the hash units (default 4).
+	KeyBytes int
+	// Cardinality adds the TCAM lookup table and empty-leaf tracking of
+	// §3.3 / Appendix C. TCAMEntries is the installed table size.
+	Cardinality bool
+	TCAMEntries int
+}
+
+// CompileFCM places an FCM-Sketch into the pipeline: each tree level
+// occupies one stage (trees run in parallel within the stage on separate
+// stateful ALUs), plus one final stage accumulating the count-query result
+// — the 4-stage layout of Table 4.
+func CompileFCM(g FCMGeometry, l Limits) (*Allocation, error) {
+	if g.Trees <= 0 || g.K < 2 || g.LeafWidth <= 0 || len(g.Widths) < 2 {
+		return nil, fmt.Errorf("pisa: invalid FCM geometry %+v", g)
+	}
+	key := g.KeyBytes
+	if key == 0 {
+		key = 4
+	}
+	a := &Allocation{Name: "FCM-Sketch", Limits: l}
+	w := g.LeafWidth
+	for lvl, bits := range g.Widths {
+		var s StageAlloc
+		// One register array and one stateful ALU per tree at each level.
+		s.SALUs = g.Trees
+		s.SRAMBlocks = sramBlocks(g.Trees*w*bits/8, l)
+		s.VLIW = g.Trees // carry/continue decision per tree
+		if lvl == 0 {
+			// Index hashes are computed once, at the first level.
+			s.HashBits = g.Trees * hashBitsFor(w)
+			s.CrossbarBytes = g.Trees * key
+		}
+		a.Stages = append(a.Stages, s)
+		w /= g.K
+	}
+	// Final stage: combine per-tree partial sums into the count-query
+	// result (min over trees).
+	final := StageAlloc{VLIW: 1}
+	if g.Cardinality {
+		// §3.3/App. C: stateful ALUs track the number of empty leaves
+		// (one per tree plus the aggregate) and a TCAM table maps the
+		// count to the Linear-Counting estimate.
+		final.SALUs = g.Trees + 1
+		entries := g.TCAMEntries
+		if entries == 0 {
+			entries = 1024
+		}
+		final.TCAMBlocks = (entries + l.TCAMBlockEntries - 1) / l.TCAMBlockEntries
+		final.HashBits = hashBitsFor(g.LeafWidth)
+	}
+	a.Stages = append(a.Stages, final)
+	if err := a.checkFits(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// TopKGeometry describes the hardware Top-K filter (§8.1): one level of
+// key/count registers probed by a duplicate hash table.
+type TopKGeometry struct {
+	Entries  int
+	KeyBytes int
+}
+
+// compileTopKStages returns the filter's stage allocations: key compare &
+// swap handling needs its own stages ahead of the sketch (the paper's
+// FCM+TopK occupies 4 additional stages).
+func compileTopKStages(g TopKGeometry, l Limits) []StageAlloc {
+	key := g.KeyBytes
+	if key == 0 {
+		key = 4
+	}
+	hashBits := hashBitsFor(g.Entries)
+	// Stage A: key register (match/claim decision).
+	stageA := StageAlloc{
+		SALUs:         1,
+		SRAMBlocks:    sramBlocks(g.Entries*key, l),
+		HashBits:      hashBits,
+		CrossbarBytes: key,
+		VLIW:          1,
+	}
+	// Stage B: vote+ count register.
+	stageB := StageAlloc{
+		SALUs:      1,
+		SRAMBlocks: sramBlocks(g.Entries*4, l),
+		VLIW:       1,
+	}
+	// Stage C: vote− register and eviction decision.
+	stageC := StageAlloc{
+		SALUs:      1,
+		SRAMBlocks: sramBlocks(g.Entries*4, l),
+		VLIW:       1,
+	}
+	// Stage D: flag register and resubmission metadata.
+	stageD := StageAlloc{
+		SALUs:      1,
+		SRAMBlocks: sramBlocks(g.Entries/8, l),
+		VLIW:       1,
+	}
+	return []StageAlloc{stageA, stageB, stageC, stageD}
+}
+
+// CompileFCMTopK places FCM+TopK: the 4 filter stages followed by the FCM
+// stages — 8 physical stages, matching Table 4.
+func CompileFCMTopK(f FCMGeometry, t TopKGeometry, l Limits) (*Allocation, error) {
+	fcmAlloc, err := CompileFCM(f, l)
+	if err != nil {
+		return nil, err
+	}
+	a := &Allocation{Name: "FCM+TopK", Limits: l}
+	a.Stages = append(a.Stages, compileTopKStages(t, l)...)
+	a.Stages = append(a.Stages, fcmAlloc.Stages...)
+	if err := a.checkFits(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// CMGeometry describes the CM(d)+TopK emulation of ElasticSketch used in
+// §8.2.2: d arrays of (typically 8-bit) registers behind a Top-K filter.
+type CMGeometry struct {
+	Rows     int
+	Width    int
+	Bits     int
+	KeyBytes int
+}
+
+// CompileCMTopK places CM(d)+TopK: the filter stages followed by the d
+// counter arrays. Rows beyond the per-stage stateful-ALU budget spill into
+// additional stages.
+func CompileCMTopK(c CMGeometry, t TopKGeometry, l Limits) (*Allocation, error) {
+	if c.Rows <= 0 || c.Width <= 0 {
+		return nil, fmt.Errorf("pisa: invalid CM geometry %+v", c)
+	}
+	key := c.KeyBytes
+	if key == 0 {
+		key = 4
+	}
+	bits := c.Bits
+	if bits == 0 {
+		bits = 8
+	}
+	a := &Allocation{Name: fmt.Sprintf("CM(%d)+TopK", c.Rows), Limits: l}
+	a.Stages = append(a.Stages, compileTopKStages(t, l)...)
+	rowBlocks := sramBlocks(c.Width*bits/8, l)
+	if rowBlocks > l.SRAMBlocksPerStage {
+		return nil, fmt.Errorf("pisa: CM row of %d %d-bit counters exceeds a stage's SRAM", c.Width, bits)
+	}
+	rows := c.Rows
+	first := true
+	for rows > 0 {
+		// Pack rows into the stage under both the stateful-ALU and the
+		// SRAM budget; SRAM-heavy rows spill into later stages.
+		n := 0
+		for n < rows && n < l.SALUsPerStage && (n+1)*rowBlocks <= l.SRAMBlocksPerStage {
+			n++
+		}
+		s := StageAlloc{
+			SALUs:      n,
+			SRAMBlocks: n * rowBlocks,
+			VLIW:       n,
+		}
+		if first {
+			s.HashBits = c.Rows * hashBitsFor(c.Width)
+			s.CrossbarBytes = key
+			first = false
+		}
+		a.Stages = append(a.Stages, s)
+		rows -= n
+	}
+	// Final min-combine stage.
+	a.Stages = append(a.Stages, StageAlloc{VLIW: 1})
+	if err := a.checkFits(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// PaperReported holds the resource figures the paper states for systems we
+// do not re-implement on the pipeline (Tables 4 and 5 reference columns).
+type PaperReported struct {
+	Name        string
+	Measurement string
+	Stages      int
+	// SALUFrac is the stateful-ALU utilization fraction; negative means
+	// "BMv2 implementation only" in Table 5.
+	SALUFrac float64
+}
+
+// Table5Reference returns the published comparison rows of Table 5.
+func Table5Reference() []PaperReported {
+	return []PaperReported{
+		{Name: "SketchLearn", Measurement: "Generic", Stages: 9, SALUFrac: 0.6875},
+		{Name: "QPipe", Measurement: "Quantile", Stages: 12, SALUFrac: 0.4583},
+		{Name: "SpreadSketch", Measurement: "Superspreader", Stages: 6, SALUFrac: 0.1250},
+		{Name: "HashPipe", Measurement: "Heavy hitter", Stages: -1, SALUFrac: -1},
+		{Name: "ElasticSketch", Measurement: "Generic", Stages: -1, SALUFrac: -1},
+		{Name: "UnivMon", Measurement: "Generic", Stages: -1, SALUFrac: -1},
+	}
+}
+
+// SwitchP4Reference returns the baseline switch.p4 utilization row of
+// Table 4 (fractions as published).
+func SwitchP4Reference() map[string]float64 {
+	return map[string]float64{
+		"SRAM":          0.3052,
+		"MatchCrossbar": 0.3750,
+		"TCAM":          0.2812,
+		"StatefulALUs":  0.2292,
+		"HashBits":      0.3343,
+		"VLIWActions":   0.3698,
+	}
+}

@@ -1,0 +1,112 @@
+package pisa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TCAMCardinality is the Appendix-C lookup table: it maps the observed
+// number of empty stage-1 leaves w0 to a precomputed Linear-Counting
+// estimate n̂ = −w1·ln(w0/w1). Entries are spaced by the estimator's
+// sensitivity ∂n̂/∂w0 = −w1/w0 so the additional quantization error stays
+// below a target fraction, shrinking the table by roughly two orders of
+// magnitude versus one entry per possible w0.
+type TCAMCardinality struct {
+	w1 int
+	// thresholds holds the w0 values with installed estimates, ascending.
+	thresholds []int
+	estimates  []float64
+}
+
+// BuildTCAMCardinality constructs the table for a tree with w1 leaves and
+// a maximum additional relative error maxErr (the paper uses 0.2%).
+func BuildTCAMCardinality(w1 int, maxErr float64) (*TCAMCardinality, error) {
+	if w1 <= 1 {
+		return nil, fmt.Errorf("pisa: w1 must exceed 1, got %d", w1)
+	}
+	if maxErr <= 0 {
+		return nil, fmt.Errorf("pisa: maxErr must be positive, got %f", maxErr)
+	}
+	t := &TCAMCardinality{w1: w1}
+	est := func(w0 int) float64 {
+		return -float64(w1) * math.Log(float64(w0)/float64(w1))
+	}
+	// Walk w0 upward; install an entry, then skip ahead while the
+	// estimate at the next installed entry stays within maxErr of every
+	// skipped point. Queries round w0 up to the next installed entry, so
+	// the error of using entry e for any w0 in (prev, e] is
+	// est(w0) − est(e) ≤ maxErr·est(w0).
+	w0 := 1
+	for w0 <= w1 {
+		t.thresholds = append(t.thresholds, w0)
+		t.estimates = append(t.estimates, est(w0))
+		if w0 == w1 {
+			break
+		}
+		// Find the largest next threshold such that the first skipped
+		// point (w0+1) is still within tolerance of the next entry:
+		// est(w0+1) − est(next) ≤ maxErr · est(w0+1).
+		lo, hi := w0+1, w1
+		ref := est(w0 + 1)
+		limit := ref * (1 - maxErr)
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if est(mid) >= limit {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		w0 = lo
+	}
+	return t, nil
+}
+
+// Lookup returns the installed estimate for an observed empty-leaf count,
+// rounding w0 up to the nearest installed entry (the one-sided nearest
+// match of Appendix C). Out-of-range inputs clamp.
+func (t *TCAMCardinality) Lookup(w0 int) float64 {
+	if w0 < 1 {
+		w0 = 1
+	}
+	if w0 > t.w1 {
+		w0 = t.w1
+	}
+	i := sort.SearchInts(t.thresholds, w0)
+	if i == len(t.thresholds) {
+		i--
+	}
+	return t.estimates[i]
+}
+
+// Exact returns the exact Linear-Counting estimate, for error comparison.
+func (t *TCAMCardinality) Exact(w0 int) float64 {
+	if w0 < 1 {
+		w0 = 1
+	}
+	if w0 > t.w1 {
+		w0 = t.w1
+	}
+	return -float64(t.w1) * math.Log(float64(w0)/float64(t.w1))
+}
+
+// Entries returns the installed entry count (the TCAM footprint).
+func (t *TCAMCardinality) Entries() int { return len(t.thresholds) }
+
+// MaxRelativeError scans every possible w0 and returns the worst-case
+// additional relative error of the table versus the exact estimator.
+func (t *TCAMCardinality) MaxRelativeError() float64 {
+	worst := 0.0
+	for w0 := 1; w0 < t.w1; w0++ {
+		exact := t.Exact(w0)
+		if exact <= 0 {
+			continue
+		}
+		re := math.Abs(t.Lookup(w0)-exact) / exact
+		if re > worst {
+			worst = re
+		}
+	}
+	return worst
+}

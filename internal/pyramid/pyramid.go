@@ -1,0 +1,258 @@
+// Package pyramid implements PyramidSketch combined with Count-Min update
+// semantics — the PCM baseline of §7.1 (Yang et al., VLDB 2017 [60]).
+//
+// The structure is a pyramid of layers: layer 1 holds pure 4-bit counters;
+// every higher layer halves the counter count and each counter carries two
+// flag bits (left/right child overflowed) plus two counting bits; the top
+// layer is a pure saturating counter. A counter that wraps its counting
+// bits carries one unit into its parent and sets the corresponding child
+// flag there.
+//
+// By default the d (=4) counters are drawn independently over the whole
+// first layer, which keeps every carry chain exact. The published "word
+// acceleration" packs the d counters into one 64-bit word so an update is
+// a single memory access; because that also makes the d carry paths share
+// ancestors a few layers up — inflating every candidate the query
+// minimizes over for large flows — it is left opt-in
+// (Config.WordAcceleration). The two modes bracket the published PCM's
+// accuracy; see EXPERIMENTS.md.
+package pyramid
+
+import (
+	"fmt"
+
+	"github.com/fcmsketch/fcm/internal/hashing"
+)
+
+const (
+	// layer-1 counters: 4 counting bits.
+	l1Bits = 4
+	l1Max  = 1<<l1Bits - 1
+	// higher-layer counters: 2 counting bits + 2 flag bits.
+	upBits = 2
+	upMax  = 1<<upBits - 1
+	// counters per 64-bit word at layer 1 (word acceleration).
+	countersPerWord = 64 / l1Bits
+)
+
+// Sketch is a Pyramid+CM sketch (PCM).
+type Sketch struct {
+	// layer1 holds 4-bit counters packed conceptually; stored unpacked
+	// for clarity with memory accounted at 4 bits each.
+	layer1 []uint8
+	// upper[l] holds layer l+2: low 2 bits count, bit 2 = left child
+	// overflowed, bit 3 = right child overflowed.
+	upper [][]uint8
+	// top saturating counters.
+	top []uint32
+	// wordHash selects the 64-bit word when word acceleration is on
+	// (nil under independent hashing).
+	wordHash hashing.Hasher
+	hashers  []hashing.Hasher
+}
+
+// Config parameterizes the sketch.
+type Config struct {
+	// MemoryBytes is the total budget, split across layers (layer l+1
+	// gets half the counters of layer l, so layer 1 receives ~2/3 of it).
+	MemoryBytes int
+	// Hashes is the number of in-word hash functions d (paper: 4).
+	Hashes int
+	// WordAcceleration confines the d counters to one 64-bit word of the
+	// first layer (single memory access per update, shared carry paths).
+	WordAcceleration bool
+	// Hash supplies the functions; nil selects BobHash.
+	Hash hashing.Family
+}
+
+// New builds a PCM sketch.
+func New(cfg Config) (*Sketch, error) {
+	d := cfg.Hashes
+	if d <= 0 {
+		d = 4
+	}
+	if d > countersPerWord {
+		return nil, fmt.Errorf("pyramid: %d hashes exceed %d counters per word", d, countersPerWord)
+	}
+	// Geometric layer sizing: layer1 w counters of 4 bits, then w/2,
+	// w/4, ... of 4 bits each until ≤ 64 counters, then a 32-bit top.
+	// Total bits ≈ 8w + 32·(w/2^L); shrink w word by word until the full
+	// pyramid fits the budget.
+	w := cfg.MemoryBytes / countersPerWord * countersPerWord
+	for w >= countersPerWord && pyramidBits(w) > cfg.MemoryBytes*8 {
+		w -= countersPerWord
+	}
+	if w < countersPerWord {
+		return nil, fmt.Errorf("pyramid: memory %dB too small", cfg.MemoryBytes)
+	}
+	fam := cfg.Hash
+	if fam == nil {
+		fam = hashing.NewBobFamily(0x9a11ad)
+	}
+	s := &Sketch{layer1: make([]uint8, w)}
+	if cfg.WordAcceleration {
+		s.wordHash = fam.New(63)
+	}
+	for i := 0; i < d; i++ {
+		s.hashers = append(s.hashers, fam.New(i))
+	}
+	for n := w / 2; n > 64; n /= 2 {
+		s.upper = append(s.upper, make([]uint8, n))
+	}
+	topN := w / 2
+	for range s.upper {
+		topN /= 2
+	}
+	if topN < 1 {
+		topN = 1
+	}
+	s.top = make([]uint32, topN)
+	return s, nil
+}
+
+// pyramidBits returns the total bit footprint of a pyramid with w layer-1
+// counters.
+func pyramidBits(w int) int {
+	bits := w * l1Bits
+	n := w / 2
+	for ; n > 64; n /= 2 {
+		bits += n * 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return bits + n*32
+}
+
+// indices returns the d layer-1 counter indices for key: within one word
+// under word acceleration, across the whole layer otherwise.
+func (s *Sketch) indices(key []byte) []int {
+	idx := make([]int, len(s.hashers))
+	if s.wordHash != nil {
+		word := hashing.Reduce(s.wordHash.Hash(key), len(s.layer1)/countersPerWord)
+		base := word * countersPerWord
+		for i, h := range s.hashers {
+			idx[i] = base + int(h.Hash(key)%countersPerWord)
+		}
+		return idx
+	}
+	for i, h := range s.hashers {
+		idx[i] = hashing.Reduce(h.Hash(key), len(s.layer1))
+	}
+	return idx
+}
+
+// Update implements sketch.Updater with CM semantics: all d counters are
+// incremented, carrying into the pyramid on overflow.
+func (s *Sketch) Update(key []byte, inc uint64) {
+	for _, i := range s.indices(key) {
+		s.add(i, inc)
+	}
+}
+
+// add increments layer-1 counter i by inc with carry propagation.
+func (s *Sketch) add(i int, inc uint64) {
+	sum := uint64(s.layer1[i]) + inc
+	s.layer1[i] = uint8(sum & l1Max)
+	carry := sum >> l1Bits
+	if carry == 0 {
+		return
+	}
+	child := i
+	for l := 0; l < len(s.upper); l++ {
+		parent := child / 2
+		cell := s.upper[l][parent]
+		// Record which child overflowed.
+		if child&1 == 0 {
+			cell |= 1 << 2
+		} else {
+			cell |= 1 << 3
+		}
+		sum := uint64(cell&upMax) + carry
+		cell = cell&^uint8(upMax) | uint8(sum&upMax)
+		s.upper[l][parent] = cell
+		carry = sum >> upBits
+		if carry == 0 {
+			return
+		}
+		child = parent
+	}
+	// Top layer: saturate.
+	parent := child / 2
+	if parent >= len(s.top) {
+		parent = len(s.top) - 1
+	}
+	t := uint64(s.top[parent]) + carry
+	if t > 0xffffffff {
+		t = 0xffffffff
+	}
+	s.top[parent] = uint32(t)
+}
+
+// Estimate implements sketch.Estimator: minimum over the d reconstructed
+// counter values.
+func (s *Sketch) Estimate(key []byte) uint64 {
+	min := uint64(1<<63 - 1)
+	for _, i := range s.indices(key) {
+		if v := s.reconstruct(i); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// reconstruct follows flags upward accumulating the full value of layer-1
+// counter i.
+func (s *Sketch) reconstruct(i int) uint64 {
+	v := uint64(s.layer1[i])
+	weight := uint64(1) << l1Bits
+	child := i
+	for l := 0; l < len(s.upper); l++ {
+		parent := child / 2
+		cell := s.upper[l][parent]
+		var flag uint8
+		if child&1 == 0 {
+			flag = 1 << 2
+		} else {
+			flag = 1 << 3
+		}
+		if cell&flag == 0 {
+			return v
+		}
+		v += uint64(cell&upMax) * weight
+		weight <<= upBits
+		child = parent
+	}
+	parent := child / 2
+	if parent >= len(s.top) {
+		parent = len(s.top) - 1
+	}
+	v += uint64(s.top[parent]) * weight
+	return v
+}
+
+// MemoryBytes implements sketch.Sized, accounting layer-1 and upper-layer
+// counters at their true 4-bit width.
+func (s *Sketch) MemoryBytes() int {
+	bits := len(s.layer1) * l1Bits
+	for _, u := range s.upper {
+		bits += len(u) * 4
+	}
+	bits += len(s.top) * 32
+	return bits / 8
+}
+
+// Reset implements sketch.Resettable.
+func (s *Sketch) Reset() {
+	for i := range s.layer1 {
+		s.layer1[i] = 0
+	}
+	for _, u := range s.upper {
+		for i := range u {
+			u[i] = 0
+		}
+	}
+	for i := range s.top {
+		s.top[i] = 0
+	}
+}

@@ -1,0 +1,35 @@
+// Package sketch defines the small set of interfaces shared by every
+// frequency-estimation structure in the repository, so the experiment
+// harness, the ElasticSketch composition and the public API can treat
+// FCM-Sketch and all baselines uniformly.
+package sketch
+
+// Updater ingests stream items. inc is the increment (1 for packet
+// counting; the byte count for volume counting).
+type Updater interface {
+	Update(key []byte, inc uint64)
+}
+
+// Estimator answers point (count) queries.
+type Estimator interface {
+	Updater
+	// Estimate returns the estimated count of key. Sketches in this
+	// repository are one-sided overestimators except Count-Sketch.
+	Estimate(key []byte) uint64
+}
+
+// Sized reports the structure's configured memory footprint in bytes
+// (counter storage only, as the paper accounts memory).
+type Sized interface {
+	MemoryBytes() int
+}
+
+// CardinalityEstimator estimates the number of distinct keys seen.
+type CardinalityEstimator interface {
+	Cardinality() float64
+}
+
+// Resettable can be cleared for reuse across measurement windows.
+type Resettable interface {
+	Reset()
+}

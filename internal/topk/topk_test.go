@@ -1,0 +1,206 @@
+package topk
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func k(i uint64) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(i))
+	return b[:]
+}
+
+func newTest(t testing.TB, levels, entries int, noEvict bool) *Filter {
+	t.Helper()
+	f, err := New(Config{Levels: levels, EntriesPerLevel: entries, NoEviction: noEvict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Config{Levels: 0, EntriesPerLevel: 8}); err == nil {
+		t.Error("expected levels error")
+	}
+	if _, err := New(Config{Levels: 1, EntriesPerLevel: 0}); err == nil {
+		t.Error("expected entries error")
+	}
+	if _, err := New(Config{Levels: 1, EntriesPerLevel: 8, KeySize: 20}); err == nil {
+		t.Error("expected key size error")
+	}
+}
+
+func TestResidentAbsorbs(t *testing.T) {
+	f := newTest(t, 1, 64, false)
+	for i := 0; i < 100; i++ {
+		if rk, rc := f.Update(k(1), 1); rc != 0 {
+			t.Fatalf("resident flow leaked (%v, %d)", rk, rc)
+		}
+	}
+	count, found, flagged := f.Lookup(k(1))
+	if !found || count != 100 || flagged {
+		t.Errorf("lookup = (%d, %v, %v)", count, found, flagged)
+	}
+}
+
+func TestUnknownNotFound(t *testing.T) {
+	f := newTest(t, 1, 64, false)
+	f.Update(k(1), 1)
+	if _, found, _ := f.Lookup(k(2)); found {
+		t.Error("unknown flow reported as resident")
+	}
+}
+
+func TestVoteFailGoesToLight(t *testing.T) {
+	// Single bucket: second flow's packets must bypass while the vote
+	// ratio stays below λ.
+	f := newTest(t, 1, 1, false)
+	for i := 0; i < 100; i++ {
+		f.Update(k(1), 1)
+	}
+	rk, rc := f.Update(k(2), 1)
+	if rc != 1 || rc != 0 && binary.LittleEndian.Uint32(rk) != 2 {
+		t.Errorf("vote-fail residual = (%v, %d), want key 2 count 1", rk, rc)
+	}
+	if c, found, _ := f.Lookup(k(1)); !found || c != 100 {
+		t.Errorf("resident disturbed: (%d, %v)", c, found)
+	}
+}
+
+func TestOstracismEviction(t *testing.T) {
+	// λ=8: a small resident is evicted once negatives pile up 8×.
+	f := newTest(t, 1, 1, false)
+	f.Update(k(1), 1) // resident with pos=1
+	var evicted bool
+	for i := 0; i < 10; i++ {
+		rk, rc := f.Update(k(2), 1)
+		if rc == 0 {
+			// Newcomer won the bucket.
+			evicted = true
+			break
+		}
+		_ = rk
+	}
+	if !evicted {
+		t.Fatal("eviction never happened")
+	}
+	if _, found, _ := f.Lookup(k(1)); found {
+		t.Error("evicted flow still resident in single-level filter")
+	}
+	count, found, flagged := f.Lookup(k(2))
+	if !found || !flagged {
+		t.Errorf("newcomer (count=%d found=%v flagged=%v), want resident+flagged", count, found, flagged)
+	}
+}
+
+func TestEvictionCascadesToNextLevel(t *testing.T) {
+	f := newTest(t, 2, 1, false)
+	f.Update(k(1), 1)
+	// Evict flow 1 from level 1; it must land in level 2.
+	for i := 0; i < 10; i++ {
+		f.Update(k(2), 1)
+	}
+	if _, found, _ := f.Lookup(k(1)); !found {
+		t.Error("evicted flow lost instead of cascading to level 2")
+	}
+	if _, found, _ := f.Lookup(k(2)); !found {
+		t.Error("newcomer not resident at level 1")
+	}
+}
+
+func TestLastLevelEvictionFlushes(t *testing.T) {
+	f := newTest(t, 1, 1, false)
+	f.Update(k(1), 5)
+	var flushedKey uint32
+	var flushedCount uint64
+	for i := 0; i < 100; i++ {
+		rk, rc := f.Update(k(2), 1)
+		if rc > 1 {
+			flushedKey = binary.LittleEndian.Uint32(rk)
+			flushedCount = rc
+			break
+		}
+	}
+	if flushedKey != 1 || flushedCount != 5 {
+		t.Errorf("flushed (%d, %d), want old resident (1, 5)", flushedKey, flushedCount)
+	}
+}
+
+func TestNoEvictionVariant(t *testing.T) {
+	f := newTest(t, 1, 1, true)
+	f.Update(k(1), 3)
+	for i := 0; i < 100; i++ {
+		rk, rc := f.Update(k(2), 1)
+		if rc != 1 || binary.LittleEndian.Uint32(rk) != 2 {
+			t.Fatalf("no-eviction residual (%v, %d)", rk, rc)
+		}
+	}
+	if c, found, _ := f.Lookup(k(1)); !found || c != 3 {
+		t.Errorf("resident = (%d, %v), must be untouched", c, found)
+	}
+}
+
+func TestHeavyFlowsSurvive(t *testing.T) {
+	f := newTest(t, 1, 4096, false)
+	rng := rand.New(rand.NewSource(1))
+	stream := make([]uint64, 0, 120000)
+	for h := uint64(0); h < 30; h++ {
+		for i := 0; i < 2000; i++ {
+			stream = append(stream, h)
+		}
+	}
+	for m := 0; m < 60000; m++ {
+		stream = append(stream, 100+uint64(rng.Intn(40000)))
+	}
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	for _, id := range stream {
+		f.Update(k(id), 1)
+	}
+	kept := 0
+	for h := uint64(0); h < 30; h++ {
+		if c, found, _ := f.Lookup(k(h)); found && c > 1000 {
+			kept++
+		}
+	}
+	if kept < 28 {
+		t.Errorf("only %d/30 heavy flows kept with high count", kept)
+	}
+}
+
+func TestEntriesAndLen(t *testing.T) {
+	f := newTest(t, 2, 64, false)
+	f.Update(k(1), 2)
+	f.Update(k(2), 3)
+	if f.Len() != 2 {
+		t.Errorf("len %d", f.Len())
+	}
+	total := uint64(0)
+	f.Entries(func(key []byte, count uint64, flagged bool) {
+		total += count
+	})
+	if total != 5 {
+		t.Errorf("entries total %d", total)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	f := newTest(t, 2, 100, false)
+	if got := f.MemoryBytes(); got != 2*100*13 {
+		t.Errorf("memory %d want %d", got, 2*100*13)
+	}
+	if BucketBytes(0) != 13 || BucketBytes(13) != 22 {
+		t.Errorf("bucket bytes: %d %d", BucketBytes(0), BucketBytes(13))
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := newTest(t, 1, 8, false)
+	f.Update(k(1), 9)
+	f.Reset()
+	if f.Len() != 0 {
+		t.Error("entries remain after reset")
+	}
+}

@@ -1,0 +1,326 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/packet"
+)
+
+func TestGenerateRankZipf(t *testing.T) {
+	tr, err := Generate(Config{
+		Model: ModelRankZipf, Alpha: 1.0, TotalPackets: 100000,
+		AvgFlowSize: 40, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.NumPackets(); math.Abs(float64(got-100000)) > 1000 {
+		t.Errorf("total packets %d, want ~100000", got)
+	}
+	if got := tr.NumFlows(); got != 2500 {
+		t.Errorf("flows %d, want 2500", got)
+	}
+	// Rank model: sizes must be non-increasing (modulo the drift absorbed
+	// by flow 0).
+	for i := 2; i < len(tr.Sizes); i++ {
+		if tr.Sizes[i] > tr.Sizes[i-1] {
+			t.Fatalf("sizes not monotone at %d: %d > %d", i, tr.Sizes[i], tr.Sizes[i-1])
+		}
+	}
+	// The top flow must be an elephant well above avg.
+	if tr.Sizes[0] < 100*40 {
+		t.Errorf("top flow %d too small for a rank-zipf elephant", tr.Sizes[0])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Model: ModelSizeZipf, Alpha: 1.3, TotalPackets: 20000, Seed: 7, Shuffle: true}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumFlows() != b.NumFlows() || a.NumPackets() != b.NumPackets() {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatalf("same seed produced different order at %d", i)
+		}
+	}
+	c, err := Generate(Config{Model: ModelSizeZipf, Alpha: 1.3, TotalPackets: 20000, Seed: 8, Shuffle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Keys {
+		if a.Keys[i] != c.Keys[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical keys")
+	}
+}
+
+func TestSizeZipfMeanAndMax(t *testing.T) {
+	// §7.4: avg ~50, max size solved from alpha. For alpha=1.1 the solved
+	// max should be a few hundred; for alpha=1.7 tens of thousands.
+	cases := []struct {
+		alpha        float64
+		maxLo, maxHi uint32
+	}{
+		{1.1, 300, 3000},
+		{1.7, 10000, 300000},
+	}
+	for _, c := range cases {
+		tr, err := Generate(Config{
+			Model: ModelSizeZipf, Alpha: c.alpha, TotalPackets: 500000,
+			AvgFlowSize: 50, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := float64(tr.NumPackets()) / float64(tr.NumFlows())
+		if mean < 30 || mean > 75 {
+			t.Errorf("alpha %.1f: mean flow size %.1f, want ~50", c.alpha, mean)
+		}
+		smax := solveSmax(c.alpha, 50)
+		if uint32(smax) < c.maxLo || uint32(smax) > c.maxHi {
+			t.Errorf("alpha %.1f: solved smax %d outside [%d,%d]", c.alpha, smax, c.maxLo, c.maxHi)
+		}
+	}
+}
+
+func TestSolveSmaxMonotone(t *testing.T) {
+	prev := 0
+	for _, alpha := range []float64{1.1, 1.3, 1.5, 1.7} {
+		s := solveSmax(alpha, 50)
+		if s <= prev {
+			t.Errorf("smax not increasing with alpha: alpha=%.1f smax=%d prev=%d", alpha, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestSizesMatchOrder(t *testing.T) {
+	tr, err := CAIDALike(50000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]uint32, tr.NumFlows())
+	tr.ForEachPacket(func(id int, key []byte) {
+		counts[id]++
+		if !bytes.Equal(key, tr.Keys[id].Bytes()) {
+			t.Fatalf("flow %d: key mismatch", id)
+		}
+	})
+	for i, c := range counts {
+		if c != tr.Sizes[i] {
+			t.Fatalf("flow %d: order count %d != size %d", i, c, tr.Sizes[i])
+		}
+	}
+}
+
+func TestKeysDistinct(t *testing.T) {
+	tr, err := CAIDALike(20000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[packet.Key]bool)
+	for _, k := range tr.Keys {
+		if seen[k] {
+			t.Fatalf("duplicate flow key %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestTrueCounts(t *testing.T) {
+	tr, err := CAIDALike(20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tr.TrueCounts()
+	if len(m) != tr.NumFlows() {
+		t.Fatalf("TrueCounts has %d entries, want %d", len(m), tr.NumFlows())
+	}
+	for i, k := range tr.Keys {
+		if m[k] != tr.Sizes[i] {
+			t.Fatalf("flow %d: count %d want %d", i, m[k], tr.Sizes[i])
+		}
+	}
+}
+
+func TestWindows(t *testing.T) {
+	tr, err := CAIDALike(30000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := tr.Windows(4)
+	if len(ws) != 4 {
+		t.Fatalf("got %d windows", len(ws))
+	}
+	totalPkts := 0
+	sumSizes := make([]uint32, tr.NumFlows())
+	for _, w := range ws {
+		totalPkts += w.NumPackets()
+		for i, s := range w.Sizes {
+			sumSizes[i] += s
+		}
+	}
+	if totalPkts != tr.NumPackets() {
+		t.Errorf("windows lost packets: %d vs %d", totalPkts, tr.NumPackets())
+	}
+	for i := range sumSizes {
+		if sumSizes[i] != tr.Sizes[i] {
+			t.Fatalf("flow %d: window sizes sum %d != %d", i, sumSizes[i], tr.Sizes[i])
+		}
+	}
+	if got := tr.Windows(0); len(got) != 1 {
+		t.Errorf("Windows(0) should clamp to 1, got %d", len(got))
+	}
+}
+
+func TestMaxSize(t *testing.T) {
+	tr := &Trace{Sizes: []uint32{3, 9, 1}}
+	if tr.MaxSize() != 9 {
+		t.Errorf("MaxSize %d", tr.MaxSize())
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	tr, err := CAIDALike(5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf, 1e9, 15e9); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ReadPcap(&buf, packet.KeySrcIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("%d frames skipped", skipped)
+	}
+	if got.NumPackets() != tr.NumPackets() {
+		t.Fatalf("packets %d want %d", got.NumPackets(), tr.NumPackets())
+	}
+	want := tr.TrueCounts()
+	gotCounts := got.TrueCounts()
+	if len(gotCounts) != len(want) {
+		t.Fatalf("flows %d want %d", len(gotCounts), len(want))
+	}
+	for k, v := range want {
+		if gotCounts[k] != v {
+			t.Fatalf("flow %v: count %d want %d", k, gotCounts[k], v)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Alpha: 1, TotalPackets: 0}); err == nil {
+		t.Error("expected error for zero packets")
+	}
+	if _, err := Generate(Config{Alpha: 0, TotalPackets: 10}); err == nil {
+		t.Error("expected error for zero alpha")
+	}
+	if _, err := Generate(Config{Model: Model(99), Alpha: 1, TotalPackets: 10}); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}
+
+func TestShuffleChangesOrder(t *testing.T) {
+	base := Config{Model: ModelRankZipf, Alpha: 1.0, TotalPackets: 10000, AvgFlowSize: 10, Seed: 1}
+	a, _ := Generate(base)
+	base.Shuffle = true
+	b, _ := Generate(base)
+	if a.NumPackets() != b.NumPackets() {
+		t.Fatal("shuffle changed packet count")
+	}
+	same := 0
+	for i := range a.Order {
+		if a.Order[i] == b.Order[i] {
+			same++
+		}
+	}
+	if same == len(a.Order) {
+		t.Error("shuffle produced identical order")
+	}
+}
+
+func BenchmarkGenerateCAIDALike(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := CAIDALike(200000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestGenerateFiveTupleKeys(t *testing.T) {
+	tr, err := Generate(Config{
+		Model: ModelRankZipf, Alpha: 1.0, TotalPackets: 20000,
+		AvgFlowSize: 20, Seed: 3, KeyKind: packet.KeyFiveTuple,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[packet.Key]bool)
+	for _, k := range tr.Keys {
+		if k.Len != 13 {
+			t.Fatalf("key length %d, want 13", k.Len)
+		}
+		if seen[k] {
+			t.Fatal("duplicate 5-tuple key")
+		}
+		seen[k] = true
+	}
+	// 5-tuple traces round-trip through pcap keyed by 5-tuple.
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadPcap(&buf, packet.KeyFiveTuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPackets() != tr.NumPackets() {
+		t.Errorf("packets %d want %d", got.NumPackets(), tr.NumPackets())
+	}
+}
+
+func TestFiveTuplePcapPreservesKeys(t *testing.T) {
+	tr, err := Generate(Config{
+		Model: ModelRankZipf, Alpha: 1.0, TotalPackets: 5000,
+		AvgFlowSize: 10, Seed: 11, KeyKind: packet.KeyFiveTuple,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ReadPcap(&buf, packet.KeyFiveTuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("%d skipped", skipped)
+	}
+	want := tr.TrueCounts()
+	gotCounts := got.TrueCounts()
+	for k, v := range want {
+		if gotCounts[k] != v {
+			t.Fatalf("5-tuple %v: count %d want %d", k, gotCounts[k], v)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package univmon implements UnivMon (Liu et al., SIGCOMM 2016 [44]): the
+// universal-streaming baseline of §7.5. A cascade of L levels each halves
+// the stream by an independent 0/1 sampling hash; every level keeps a
+// Count-Sketch plus a top-k heap of its heaviest sampled flows. Any
+// g-sum Σ g(f_i) is estimated by the recursive universal-sketch formula
+//
+//	Y_L = Σ_{f ∈ Q_L} g(w_f)
+//	Y_i = 2·Y_{i+1} + Σ_{f ∈ Q_i} g(w_f)·(1 − 2·sampled_{i+1}(f)),
+//
+// which yields heavy hitters (level-0 heap), cardinality (g = 1) and
+// entropy (g = x·log2 x).
+package univmon
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"github.com/fcmsketch/fcm/internal/countsketch"
+	"github.com/fcmsketch/fcm/internal/hashing"
+)
+
+// Config parameterizes UnivMon.
+type Config struct {
+	// MemoryBytes is the total budget: heaps are charged KeySize+8 bytes
+	// per entry and the remainder is split evenly over the level sketches.
+	MemoryBytes int
+	// Levels is the sampling depth L (paper configuration: 16).
+	Levels int
+	// HeapSize is the per-level heavy-hitter heap capacity (paper: 2K).
+	HeapSize int
+	// Rows is the Count-Sketch row count per level (default 5).
+	Rows int
+	// KeySize is the flow-key byte length for accounting (default 4).
+	KeySize int
+	// Hash supplies hash functions; nil selects BobHash.
+	Hash hashing.Family
+}
+
+// level is one sampling stage.
+type level struct {
+	cs      *countsketch.Sketch
+	heap    *topHeap
+	sampler hashing.Hasher
+}
+
+// Sketch is a UnivMon instance.
+type Sketch struct {
+	levels  []level
+	total   uint64
+	keySize int
+}
+
+// New builds a UnivMon sketch.
+func New(cfg Config) (*Sketch, error) {
+	L := cfg.Levels
+	if L == 0 {
+		L = 16
+	}
+	hs := cfg.HeapSize
+	if hs == 0 {
+		hs = 2000
+	}
+	rows := cfg.Rows
+	if rows == 0 {
+		rows = 5
+	}
+	ks := cfg.KeySize
+	if ks == 0 {
+		ks = 4
+	}
+	fam := cfg.Hash
+	if fam == nil {
+		fam = hashing.NewBobFamily(0x0171410)
+	}
+	heapBytes := L * hs * (ks + 8)
+	sketchBytes := cfg.MemoryBytes - heapBytes
+	perLevel := sketchBytes / L
+	if perLevel < rows*8 {
+		return nil, fmt.Errorf("univmon: memory %dB too small for %d levels (heaps need %dB)",
+			cfg.MemoryBytes, L, heapBytes)
+	}
+	s := &Sketch{keySize: ks}
+	for i := 0; i < L; i++ {
+		cs, err := countsketch.New(countsketch.Config{
+			MemoryBytes: perLevel,
+			Rows:        rows,
+			Hash:        &offsetFamily{fam, 100 + i*rows},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("univmon: level %d: %w", i, err)
+		}
+		s.levels = append(s.levels, level{
+			cs:      cs,
+			heap:    newTopHeap(hs),
+			sampler: fam.New(i),
+		})
+	}
+	return s, nil
+}
+
+// offsetFamily shifts indices into a disjoint range of the base family.
+type offsetFamily struct {
+	fam hashing.Family
+	off int
+}
+
+func (o *offsetFamily) New(i int) hashing.Hasher { return o.fam.New(i + o.off) }
+
+// sampled reports whether key participates at levels > i, i.e. the level-i
+// sampler bit is 1. Level 0 includes everything.
+func (s *Sketch) sampled(i int, key []byte) bool {
+	return s.levels[i].sampler.Hash(key)&1 == 1
+}
+
+// Update implements sketch.Updater.
+func (s *Sketch) Update(key []byte, inc uint64) {
+	s.total += inc
+	for i := range s.levels {
+		if i > 0 && !s.sampled(i, key) {
+			break
+		}
+		lv := &s.levels[i]
+		lv.cs.Update(key, inc)
+		est := lv.cs.EstimateSigned(key)
+		if est > 0 {
+			lv.heap.offer(key, uint64(est))
+		}
+	}
+}
+
+// Estimate implements sketch.Estimator via the level-0 Count-Sketch.
+func (s *Sketch) Estimate(key []byte) uint64 { return s.levels[0].cs.Estimate(key) }
+
+// HeavyHitters returns level-0 heap flows whose current estimate reaches
+// the threshold.
+func (s *Sketch) HeavyHitters(threshold uint64) map[string]uint64 {
+	hh := make(map[string]uint64)
+	for _, e := range s.levels[0].heap.entries {
+		if est := s.levels[0].cs.Estimate([]byte(e.key)); est >= threshold {
+			hh[e.key] = est
+		}
+	}
+	return hh
+}
+
+// gSum evaluates the recursive universal-sketch estimator for g.
+func (s *Sketch) gSum(g func(w float64) float64) float64 {
+	L := len(s.levels)
+	y := 0.0
+	// Bottom level.
+	for _, e := range s.levels[L-1].heap.entries {
+		if w := s.levels[L-1].cs.EstimateSigned([]byte(e.key)); w > 0 {
+			y += g(float64(w))
+		}
+	}
+	for i := L - 2; i >= 0; i-- {
+		yi := 2 * y
+		for _, e := range s.levels[i].heap.entries {
+			w := s.levels[i].cs.EstimateSigned([]byte(e.key))
+			if w <= 0 {
+				continue
+			}
+			ind := 0.0
+			if s.sampled(i+1, []byte(e.key)) {
+				ind = 1
+			}
+			yi += g(float64(w)) * (1 - 2*ind)
+		}
+		y = yi
+	}
+	if y < 0 {
+		y = 0
+	}
+	return y
+}
+
+// Cardinality implements sketch.CardinalityEstimator (g = 1).
+func (s *Sketch) Cardinality() float64 {
+	return s.gSum(func(float64) float64 { return 1 })
+}
+
+// Entropy estimates the flow entropy H = log2(m) − (1/m)·Σ w·log2(w).
+func (s *Sketch) Entropy() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	m := float64(s.total)
+	sum := s.gSum(func(w float64) float64 { return w * math.Log2(w) })
+	h := math.Log2(m) - sum/m
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// TotalPackets returns the number of updates recorded.
+func (s *Sketch) TotalPackets() uint64 { return s.total }
+
+// MemoryBytes implements sketch.Sized.
+func (s *Sketch) MemoryBytes() int {
+	n := 0
+	for i := range s.levels {
+		n += s.levels[i].cs.MemoryBytes()
+		n += s.levels[i].heap.cap * (s.keySize + 8)
+	}
+	return n
+}
+
+// Reset implements sketch.Resettable.
+func (s *Sketch) Reset() {
+	s.total = 0
+	for i := range s.levels {
+		s.levels[i].cs.Reset()
+		s.levels[i].heap.reset()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// topHeap: a fixed-capacity min-heap of (key, estimate) with key dedup.
+// ---------------------------------------------------------------------------
+
+type heapEntry struct {
+	key string
+	est uint64
+	idx int
+}
+
+type topHeap struct {
+	entries []*heapEntry
+	index   map[string]*heapEntry
+	cap     int
+}
+
+func newTopHeap(capacity int) *topHeap {
+	return &topHeap{index: make(map[string]*heapEntry, capacity), cap: capacity}
+}
+
+// heap.Interface implementation.
+func (h *topHeap) Len() int           { return len(h.entries) }
+func (h *topHeap) Less(i, j int) bool { return h.entries[i].est < h.entries[j].est }
+func (h *topHeap) Swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.entries[i].idx = i
+	h.entries[j].idx = j
+}
+func (h *topHeap) Push(x any) {
+	e := x.(*heapEntry)
+	e.idx = len(h.entries)
+	h.entries = append(h.entries, e)
+}
+func (h *topHeap) Pop() any {
+	n := len(h.entries)
+	e := h.entries[n-1]
+	h.entries = h.entries[:n-1]
+	return e
+}
+
+// offer inserts or refreshes key with the given estimate, keeping only the
+// top-cap entries.
+func (h *topHeap) offer(key []byte, est uint64) {
+	if e, ok := h.index[string(key)]; ok {
+		if est != e.est {
+			e.est = est
+			heap.Fix(h, e.idx)
+		}
+		return
+	}
+	if len(h.entries) < h.cap {
+		e := &heapEntry{key: string(key), est: est}
+		h.index[e.key] = e
+		heap.Push(h, e)
+		return
+	}
+	if est <= h.entries[0].est {
+		return
+	}
+	evicted := h.entries[0]
+	delete(h.index, evicted.key)
+	e := &heapEntry{key: string(key), est: est}
+	h.index[e.key] = e
+	h.entries[0] = e
+	e.idx = 0
+	heap.Fix(h, 0)
+}
+
+func (h *topHeap) reset() {
+	h.entries = h.entries[:0]
+	h.index = make(map[string]*heapEntry, h.cap)
+}

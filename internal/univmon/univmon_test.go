@@ -1,0 +1,204 @@
+package univmon
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/exact"
+	"github.com/fcmsketch/fcm/internal/packet"
+)
+
+func k(i uint64) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(i))
+	return b[:]
+}
+
+func newTest(t testing.TB, mem int) *Sketch {
+	t.Helper()
+	s, err := New(Config{MemoryBytes: mem, Levels: 8, HeapSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Config{MemoryBytes: 100}); err == nil {
+		t.Error("expected error when heaps exceed memory")
+	}
+}
+
+func TestHeapOffer(t *testing.T) {
+	h := newTopHeap(3)
+	h.offer([]byte("a"), 10)
+	h.offer([]byte("b"), 5)
+	h.offer([]byte("c"), 20)
+	h.offer([]byte("d"), 1) // below min: rejected
+	if len(h.entries) != 3 {
+		t.Fatalf("heap size %d", len(h.entries))
+	}
+	if _, ok := h.index["d"]; ok {
+		t.Error("d should have been rejected")
+	}
+	h.offer([]byte("e"), 30) // evicts b (min=5)
+	if _, ok := h.index["b"]; ok {
+		t.Error("b should have been evicted")
+	}
+	h.offer([]byte("a"), 50) // refresh in place
+	if h.index["a"].est != 50 {
+		t.Error("refresh failed")
+	}
+	if len(h.entries) != 3 {
+		t.Errorf("heap grew on refresh: %d", len(h.entries))
+	}
+	h.reset()
+	if h.Len() != 0 || len(h.index) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestHeapOrderMaintained(t *testing.T) {
+	h := newTopHeap(8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		var key [4]byte
+		binary.LittleEndian.PutUint32(key[:], uint32(rng.Intn(40)))
+		h.offer(key[:], uint64(rng.Intn(1000)))
+	}
+	// Validate heap property.
+	for i := 1; i < len(h.entries); i++ {
+		parent := (i - 1) / 2
+		if h.entries[parent].est > h.entries[i].est {
+			t.Fatalf("heap property violated at %d", i)
+		}
+		if h.entries[i].idx != i {
+			t.Fatalf("index bookkeeping broken at %d", i)
+		}
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	s := newTest(t, 1<<19)
+	rng := rand.New(rand.NewSource(2))
+	stream := make([]uint64, 0, 100000)
+	for h := uint64(0); h < 10; h++ {
+		for i := 0; i < 4000; i++ {
+			stream = append(stream, h)
+		}
+	}
+	for m := 0; m < 60000; m++ {
+		stream = append(stream, 100+uint64(rng.Intn(30000)))
+	}
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	for _, id := range stream {
+		s.Update(k(id), 1)
+	}
+	hh := s.HeavyHitters(3000)
+	found := 0
+	for h := uint64(0); h < 10; h++ {
+		if _, ok := hh[string(k(h))]; ok {
+			found++
+		}
+	}
+	if found < 9 {
+		t.Errorf("found %d/10 heavy hitters", found)
+	}
+}
+
+func TestCardinality(t *testing.T) {
+	s := newTest(t, 1<<19)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.Update(k(uint64(i)), 1)
+	}
+	got := s.Cardinality()
+	// UnivMon cardinality is coarse (the paper's Fig. 12d shows ~10×
+	// worse error than FCM); accept a wide band.
+	if got < n/3 || got > n*3 {
+		t.Errorf("cardinality %f way off %d", got, n)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	s := newTest(t, 1<<19)
+	tracker := exact.New()
+	rng := rand.New(rand.NewSource(3))
+	for f := uint64(0); f < 5000; f++ {
+		size := 1 + rng.Intn(5)
+		if f%50 == 0 {
+			size = 500 + rng.Intn(1000)
+		}
+		s.Update(k(f), uint64(size))
+		var pk packet.Key
+		copy(pk.Buf[:], k(f))
+		pk.Len = 4
+		tracker.UpdateKey(pk, uint64(size))
+	}
+	got := s.Entropy()
+	want := tracker.Entropy()
+	if math.Abs(got-want)/want > 0.5 {
+		t.Errorf("entropy %f, true %f", got, want)
+	}
+}
+
+func TestEntropyEmpty(t *testing.T) {
+	s := newTest(t, 1<<19)
+	if got := s.Entropy(); got != 0 {
+		t.Errorf("empty entropy %f", got)
+	}
+}
+
+func TestLevelSampling(t *testing.T) {
+	// Roughly half the flows should reach level 1, a quarter level 2...
+	s := newTest(t, 1<<19)
+	n := 10000
+	reached := make([]int, len(s.levels))
+	for i := 0; i < n; i++ {
+		key := k(uint64(i))
+		for lvl := 0; lvl < len(s.levels); lvl++ {
+			if lvl > 0 && !s.sampled(lvl, key) {
+				break
+			}
+			reached[lvl]++
+		}
+	}
+	if reached[0] != n {
+		t.Fatalf("level 0 reached %d, want all %d", reached[0], n)
+	}
+	for lvl := 1; lvl <= 3; lvl++ {
+		expect := float64(n) / math.Exp2(float64(lvl))
+		if math.Abs(float64(reached[lvl])-expect) > 0.15*expect {
+			t.Errorf("level %d reached %d, want ~%.0f", lvl, reached[lvl], expect)
+		}
+	}
+}
+
+func TestMemoryAndReset(t *testing.T) {
+	s := newTest(t, 1<<19)
+	if s.MemoryBytes() > 1<<19 {
+		t.Errorf("memory %d over budget", s.MemoryBytes())
+	}
+	s.Update(k(1), 100)
+	if s.TotalPackets() != 100 {
+		t.Errorf("total %d", s.TotalPackets())
+	}
+	s.Reset()
+	if s.TotalPackets() != 0 || s.Estimate(k(1)) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func BenchmarkUpdateUnivMon(b *testing.B) {
+	s, err := New(Config{MemoryBytes: 1 << 20, Levels: 16, HeapSize: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var key [4]byte
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint32(key[:], uint32(i%100000))
+		s.Update(key[:], 1)
+	}
+}
