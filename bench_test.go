@@ -12,6 +12,7 @@ package fcm_test
 import (
 	"encoding/binary"
 	"strconv"
+	"sync"
 	"testing"
 
 	"github.com/fcmsketch/fcm"
@@ -213,6 +214,91 @@ func BenchmarkIngestUnivMon(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchIngest(b, s)
+}
+
+// ---------------------------------------------------------------------------
+// Sharded concurrent ingest: throughput of fcm.Sharded with one writer
+// goroutine per shard, and collection racing ingest. Speedup over the
+// 1-shard run depends on GOMAXPROCS; the exact-merge property holds
+// regardless (see TestShardedBitIdenticalToSerial).
+// ---------------------------------------------------------------------------
+
+func benchShardedUpdate(b *testing.B, shards int) {
+	b.Helper()
+	sh, err := fcm.NewSharded(fcm.Config{MemoryBytes: 1 << 20}, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := benchTrace(b)
+	keys := make([][]byte, tr.NumFlows())
+	for i := range tr.Keys {
+		keys[i] = tr.Keys[i].Bytes()
+	}
+	order := tr.Order
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each writer owns shard w and replays an equal slice of b.N.
+			n := b.N / shards
+			if w == 0 {
+				n += b.N % shards
+			}
+			for i := 0; i < n; i++ {
+				sh.UpdateShard(w, keys[order[(w+i*shards)%len(order)]], 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkShardedUpdate1(b *testing.B) { benchShardedUpdate(b, 1) }
+func BenchmarkShardedUpdate2(b *testing.B) { benchShardedUpdate(b, 2) }
+func BenchmarkShardedUpdate4(b *testing.B) { benchShardedUpdate(b, 4) }
+func BenchmarkShardedUpdate8(b *testing.B) { benchShardedUpdate(b, 8) }
+
+// BenchmarkShardedCollectWhileIngesting measures snapshot cost with four
+// writers continuously feeding the shards — the copy-on-read collection
+// path that replaced the global-mutex server.
+func BenchmarkShardedCollectWhileIngesting(b *testing.B) {
+	const shards = 4
+	sh, err := fcm.NewSharded(fcm.Config{MemoryBytes: 1 << 20}, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := benchTrace(b)
+	keys := make([][]byte, tr.NumFlows())
+	for i := range tr.Keys {
+		keys[i] = tr.Keys[i].Bytes()
+	}
+	order := tr.Order
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					sh.UpdateShard(w, keys[order[(w+i*shards)%len(order)]], 1)
+				}
+			}
+		}(w)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sh.Snapshot() == nil {
+			b.Fatal("nil snapshot")
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
 }
 
 // BenchmarkEstimateFCMvsCM compares query latency.

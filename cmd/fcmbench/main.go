@@ -30,6 +30,7 @@ func main() {
 		seed    = flag.Int64("seed", 31337, "trace and hashing seed")
 		iters   = flag.Int("iters", 5, "EM iterations")
 		workers = flag.Int("workers", 0, "EM worker goroutines (0 = all cores)")
+		shards  = flag.Int("shards", 0, "max shard count for the shardedspeed sweep (0 = 8)")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		verbose = flag.Bool("v", false, "print progress while running")
 	)
@@ -51,6 +52,7 @@ func main() {
 		Seed:         *seed,
 		EMIterations: *iters,
 		Workers:      *workers,
+		Shards:       *shards,
 	}
 	if *verbose {
 		opts.Log = os.Stderr

@@ -3,9 +3,16 @@
 // allocation, and serves the sketch registers over TCP for a control-plane
 // collector (see cmd/fcmctl for the collector side).
 //
+// With -shards N the FCM program replays through the sharded concurrent
+// ingest engine: N writer goroutines each own one shard, and collection
+// serves exact-merge snapshots that are bit-identical to a serial replay —
+// per the paper's §5 merge property. Collection never blocks ingest: a
+// shard is locked only while its registers are copied.
+//
 // Usage:
 //
 //	fcmswitch -pcap trace.pcap -listen 127.0.0.1:9401
+//	fcmswitch -packets 1000000 -program fcm -shards 4 -listen 127.0.0.1:9401
 //	fcmswitch -packets 1000000 -program fcm+topk -mem 1300000
 package main
 
@@ -15,9 +22,13 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"sync"
 	"syscall"
 
 	"github.com/fcmsketch/fcm/internal/collect"
+	"github.com/fcmsketch/fcm/internal/core"
+	"github.com/fcmsketch/fcm/internal/engine"
+	"github.com/fcmsketch/fcm/internal/hashing"
 	"github.com/fcmsketch/fcm/internal/packet"
 	"github.com/fcmsketch/fcm/internal/pisa"
 	"github.com/fcmsketch/fcm/internal/trace"
@@ -30,6 +41,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "synthetic trace seed")
 		program  = flag.String("program", "fcm", "data plane: fcm | fcm+topk | cm+topk")
 		mem      = flag.Int("mem", 1_300_000, "sketch memory in bytes (paper hardware: 1.3MB)")
+		shards   = flag.Int("shards", 1, "concurrent ingest shards (fcm program only; exact merge keeps results bit-identical)")
 		listen   = flag.String("listen", "", "serve sketch registers on this TCP address")
 		hhThresh = flag.Uint64("hh", 0, "print heavy hitters at this threshold (TopK programs)")
 		emitP4   = flag.Bool("emit-p4", false, "print the generated P4 program for the FCM geometry and exit")
@@ -46,6 +58,12 @@ func main() {
 		prog = pisa.ProgramCMTopK
 	default:
 		fatalf("unknown program %q", *program)
+	}
+	if *shards < 1 {
+		fatalf("-shards must be ≥ 1, got %d", *shards)
+	}
+	if *shards > 1 && prog != pisa.ProgramFCM {
+		fatalf("-shards applies to the fcm program only (TopK filters are single-writer)")
 	}
 
 	sw, err := pisa.NewSwitch(pisa.SwitchConfig{Program: prog, MemoryBytes: *mem})
@@ -77,24 +95,56 @@ func main() {
 	fmt.Printf("replaying %d packets / %d flows through %s...\n",
 		tr.NumPackets(), tr.NumFlows(), sw.Allocation().Name)
 
+	// Pick the data-plane source: a sharded engine for the plain FCM
+	// program, a locked single-writer sketch otherwise. Both serve
+	// copy-on-read snapshots, so collection never holds a lock across an
+	// encode or a network write.
+	var src collect.Source
+	var eng *engine.Engine
+	var locked *collect.LockedSketch
+	if prog == pisa.ProgramFCM {
+		eng, err = shardedEngine(sw, *shards, 0)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		src = eng
+	} else if sw.Sketch() != nil {
+		locked = collect.NewLockedSketch(sw.Sketch())
+		src = locked
+	}
+
 	var srv *collect.Server
-	if *listen != "" && sw.Sketch() != nil {
-		srv, err = collect.NewServer(*listen, sw.Sketch())
+	if *listen != "" && src != nil {
+		srv, err = collect.NewServer(*listen, src)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		fmt.Printf("serving registers on %s\n", srv.Addr())
 	}
 
-	tr.ForEachPacket(func(_ int, key []byte) {
-		if srv != nil {
-			srv.Lock()
-			sw.Update(key, 1)
-			srv.Unlock()
-		} else {
-			sw.Update(key, 1)
+	switch {
+	case eng != nil:
+		replaySharded(tr, eng)
+		// Fold the merged shards back into the switch's own sketch so the
+		// data-plane reports below read the same registers a serial replay
+		// would have produced (exact merge ⇒ bit-identical).
+		merged := eng.SnapshotSketch()
+		for t := 0; t < merged.NumTrees(); t++ {
+			for l := 0; l < merged.Depth(); l++ {
+				if err := sw.Sketch().SetStageValues(t, l, merged.StageValues(t, l)); err != nil {
+					fatalf("%v", err)
+				}
+			}
 		}
-	})
+	case srv != nil && locked != nil:
+		tr.ForEachPacket(func(_ int, key []byte) {
+			locked.Lock()
+			sw.Update(key, 1)
+			locked.Unlock()
+		})
+	default:
+		tr.ForEachPacket(func(_ int, key []byte) { sw.Update(key, 1) })
+	}
 	fmt.Println("replay done")
 
 	if card, err := sw.Cardinality(); err == nil {
@@ -112,6 +162,48 @@ func main() {
 		<-sig
 		srv.Close() //nolint:errcheck // exiting anyway
 	}
+}
+
+// shardedEngine builds an ingest engine whose shards replicate the
+// switch's FCM geometry and hash family, so the exact merge of the shards
+// is bit-identical to the switch's own sketch fed serially.
+func shardedEngine(sw *pisa.Switch, shards int, seed uint32) (*engine.Engine, error) {
+	sk := sw.Sketch()
+	return engine.New(engine.Config{
+		Shards: shards,
+		Build: func() (*core.Sketch, error) {
+			return core.New(core.Config{
+				K:         sk.K(),
+				Trees:     sk.NumTrees(),
+				Widths:    sk.Widths(),
+				LeafWidth: sk.LeafWidth(),
+				Hash:      hashing.NewBobFamily(0xfc3141 ^ seed),
+			})
+		},
+	})
+}
+
+// replaySharded splits the replay across one writer goroutine per shard
+// (shard-ownership mode: the per-shard lock is uncontended). The packet
+// partition is arbitrary — the exact merge makes the result independent of
+// which shard absorbed which packet.
+func replaySharded(tr *trace.Trace, eng *engine.Engine) {
+	n := eng.NumShards()
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			tr.ForEachPacket(func(_ int, key []byte) {
+				if i%n == w {
+					eng.UpdateShard(w, key, 1)
+				}
+				i++
+			})
+		}(w)
+	}
+	wg.Wait()
 }
 
 // loadTrace reads a pcap or synthesizes a CAIDA-like trace.

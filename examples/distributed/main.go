@@ -36,7 +36,7 @@ func main() {
 			log.Fatal(err)
 		}
 		sketches[i] = sk
-		srv, err := collect.NewServer("127.0.0.1:0", sk.Core())
+		srv, err := collect.NewServer("127.0.0.1:0", collect.NewLockedSketch(sk.Core()))
 		if err != nil {
 			log.Fatal(err)
 		}

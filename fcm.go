@@ -39,6 +39,7 @@ import (
 	"github.com/fcmsketch/fcm/internal/core"
 	"github.com/fcmsketch/fcm/internal/em"
 	"github.com/fcmsketch/fcm/internal/hashing"
+	"github.com/fcmsketch/fcm/internal/sketch"
 )
 
 // Config parameterizes an FCM-Sketch. The zero value of every field selects
@@ -63,7 +64,9 @@ type Config struct {
 	Seed uint32
 }
 
-// withDefaults fills zero fields with the paper's defaults.
+// withDefaults fills zero fields with the paper's defaults. Widths is
+// defensively copied so a caller mutating its slice after NewSketch cannot
+// corrupt the sketch geometry.
 func (c Config) withDefaults() Config {
 	if c.K == 0 {
 		c.K = 8
@@ -73,6 +76,8 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Widths) == 0 {
 		c.Widths = core.DefaultWidths()
+	} else {
+		c.Widths = append([]int(nil), c.Widths...)
 	}
 	return c
 }
@@ -90,8 +95,9 @@ func (c Config) coreConfig() core.Config {
 }
 
 // Sketch is an FCM-Sketch: the data-plane structure of the paper. It is
-// not safe for concurrent use; wrap it or shard it for multi-writer
-// pipelines.
+// not safe for concurrent use; multi-writer pipelines should use Sharded,
+// whose per-shard ingest plus exact merge is bit-identical to feeding one
+// Sketch serially.
 type Sketch struct {
 	cfg Config
 	s   *core.Sketch
@@ -162,6 +168,27 @@ func (s *Sketch) Merge(o *Sketch) error {
 	}
 	return s.s.Merge(o.s)
 }
+
+// MergeFrom implements the sketch.Mergeable contract: it folds other —
+// which must be another *Sketch with an identical configuration — into s.
+// See Merge for the exactness guarantee.
+func (s *Sketch) MergeFrom(other sketch.Estimator) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return fmt.Errorf("fcm: cannot merge %T into *fcm.Sketch", other)
+	}
+	return s.Merge(o)
+}
+
+// Snapshot returns a consistent deep copy of the sketch that the caller
+// owns: counters are copied, hash functions shared. The snapshot answers
+// every query (including control-plane EM) independently of the original.
+func (s *Sketch) Snapshot() *Sketch {
+	return &Sketch{cfg: s.cfg, s: s.s.Clone()}
+}
+
+// SnapshotEstimator implements the sketch.Snapshotter contract.
+func (s *Sketch) SnapshotEstimator() sketch.Estimator { return s.Snapshot() }
 
 // configsEqual compares configurations field by field (Config contains a
 // slice, so == is not available).

@@ -3,74 +3,126 @@ package fcm
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // Framework is the full FCM measurement framework of Fig. 1: an FCM-Sketch
-// in the "data plane" plus the control-plane algorithms — flow size
-// distribution (EM), entropy, and heavy-change detection across adjacent
-// measurement windows.
+// data plane plus the control-plane algorithms — flow size distribution
+// (EM), entropy, and heavy-change detection across adjacent measurement
+// windows.
 //
-// Updates go to the current window's sketch. Rotate closes the window and
-// keeps it as the previous window, so heavy changes can be detected by
-// comparing count queries across the two (§4.4).
+// The data plane is a Sharded sketch, so Update is safe for any number of
+// concurrent writers and Rotate is safe to call while updates are in
+// flight: an update lands in exactly one window. Rotate closes the current
+// window and keeps its exact merge as the previous window, so heavy
+// changes can be detected by comparing count queries across the two
+// (§4.4).
 type Framework struct {
-	cfg  Config
-	cur  *Sketch
-	prev *Sketch
+	cfg Config
+
+	// mu orders window rotation against updates and queries: updates and
+	// reads share the lock, Rotate takes it exclusively for the swap.
+	mu   sync.RWMutex
+	cur  *Sharded
+	prev *Sketch // exact merge of the closed window
+
 	// windowPackets counts packets in the current window; needed by the
 	// entropy estimator and exposed for monitoring.
-	windowPackets uint64
-	prevPackets   uint64
+	windowPackets atomic.Uint64
+	prevPackets   atomic.Uint64
 }
 
-// NewFramework builds a framework with double-buffered sketches.
+// NewFramework builds a framework with a single-shard data plane — the
+// right default for one writer goroutine. Use NewShardedFramework for
+// multi-writer ingest.
 func NewFramework(cfg Config) (*Framework, error) {
-	cur, err := NewSketch(cfg)
+	return NewShardedFramework(cfg, 1)
+}
+
+// NewShardedFramework builds a framework whose current window is a Sharded
+// sketch with the given shard count, so multiple goroutines can feed it
+// concurrently (key-affinity via Update, or shard ownership via
+// UpdateShard).
+func NewShardedFramework(cfg Config, shards int) (*Framework, error) {
+	cur, err := NewSharded(cfg, shards)
 	if err != nil {
 		return nil, err
 	}
-	prev, err := NewSketch(cfg)
+	prev, err := NewSketch(cur.Config())
 	if err != nil {
 		return nil, err
 	}
 	return &Framework{cfg: cur.Config(), cur: cur, prev: prev}, nil
 }
 
-// Update records inc occurrences of key in the current window.
+// Update records inc occurrences of key in the current window. Safe for
+// concurrent use, including concurrently with Rotate.
 func (f *Framework) Update(key []byte, inc uint64) {
+	f.mu.RLock()
 	f.cur.Update(key, inc)
-	f.windowPackets += inc
+	f.windowPackets.Add(inc)
+	f.mu.RUnlock()
 }
 
-// Rotate closes the current window: the current sketch becomes the
-// previous one and a cleared sketch starts the next window.
-func (f *Framework) Rotate() {
-	f.prev, f.cur = f.cur, f.prev
-	f.cur.Reset()
-	f.prevPackets = f.windowPackets
-	f.windowPackets = 0
+// UpdateShard records inc occurrences of key on shard i of the current
+// window — the ownership path for pipelines with one shard per writer.
+func (f *Framework) UpdateShard(i int, key []byte, inc uint64) {
+	f.mu.RLock()
+	f.cur.UpdateShard(i, key, inc)
+	f.windowPackets.Add(inc)
+	f.mu.RUnlock()
 }
+
+// Rotate closes the current window: its exact merge becomes the previous
+// window and the cleared shards start the next one. Updates concurrent
+// with Rotate land in exactly one of the two windows.
+func (f *Framework) Rotate() {
+	f.mu.Lock()
+	f.prev = f.cur.Rotate()
+	f.prevPackets.Store(f.windowPackets.Swap(0))
+	f.mu.Unlock()
+}
+
+// Shards returns the data plane's shard count.
+func (f *Framework) Shards() int { return f.cur.Shards() }
 
 // Estimate returns the current window's count estimate for key.
-func (f *Framework) Estimate(key []byte) uint64 { return f.cur.Estimate(key) }
+func (f *Framework) Estimate(key []byte) uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.cur.Estimate(key)
+}
 
 // PreviousEstimate returns the previous window's count estimate for key.
-func (f *Framework) PreviousEstimate(key []byte) uint64 { return f.prev.Estimate(key) }
+func (f *Framework) PreviousEstimate(key []byte) uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.prev.Estimate(key)
+}
 
 // Cardinality estimates the current window's distinct flows.
-func (f *Framework) Cardinality() float64 { return f.cur.Cardinality() }
+func (f *Framework) Cardinality() float64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.cur.Cardinality()
+}
 
 // WindowPackets returns the number of packets recorded in the current
 // window.
-func (f *Framework) WindowPackets() uint64 { return f.windowPackets }
+func (f *Framework) WindowPackets() uint64 { return f.windowPackets.Load() }
 
-// Sketch returns the current window's sketch.
-func (f *Framework) Sketch() *Sketch { return f.cur }
+// Sketch returns an exact-merge snapshot of the current window's sketch.
+func (f *Framework) Sketch() *Sketch {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.cur.Snapshot()
+}
 
 // FlowSizeDistribution estimates the current window's flow-size
 // distribution with EM (§4.2).
 func (f *Framework) FlowSizeDistribution(opt *EMOptions) ([]float64, error) {
-	return f.cur.FlowSizeDistribution(opt)
+	return f.Sketch().FlowSizeDistribution(opt)
 }
 
 // Entropy estimates the current window's flow entropy from the EM
@@ -124,6 +176,10 @@ func (f *Framework) HeavyChanges(candidates [][]byte, threshold uint64) ([]Heavy
 	if threshold == 0 {
 		return nil, fmt.Errorf("fcm: heavy-change threshold must be positive")
 	}
+	// One consistent snapshot per window for the whole candidate scan.
+	f.mu.RLock()
+	cur, prev := f.cur.Snapshot(), f.prev
+	f.mu.RUnlock()
 	var out []HeavyChange
 	seen := make(map[string]bool, len(candidates))
 	for _, k := range candidates {
@@ -132,11 +188,11 @@ func (f *Framework) HeavyChanges(candidates [][]byte, threshold uint64) ([]Heavy
 			continue
 		}
 		seen[ks] = true
-		prev := f.prev.Estimate(k)
-		cur := f.cur.Estimate(k)
-		d := int64(cur) - int64(prev)
+		p := prev.Estimate(k)
+		c := cur.Estimate(k)
+		d := int64(c) - int64(p)
 		if d >= int64(threshold) || -d >= int64(threshold) {
-			out = append(out, HeavyChange{Key: ks, Previous: prev, Current: cur})
+			out = append(out, HeavyChange{Key: ks, Previous: p, Current: c})
 		}
 	}
 	return out, nil

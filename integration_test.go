@@ -97,16 +97,17 @@ func TestEndToEndCollection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := collect.NewServer("127.0.0.1:0", sk.Core())
+	ls := collect.NewLockedSketch(sk.Core())
+	srv, err := collect.NewServer("127.0.0.1:0", ls)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 
 	tr.ForEachPacket(func(_ int, key []byte) {
-		srv.Lock()
+		ls.Lock()
 		sk.Update(key, 1)
-		srv.Unlock()
+		ls.Unlock()
 	})
 
 	cl, err := collect.Dial(srv.Addr(), time.Second)

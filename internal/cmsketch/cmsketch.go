@@ -9,6 +9,15 @@ import (
 	"fmt"
 
 	"github.com/fcmsketch/fcm/internal/hashing"
+	"github.com/fcmsketch/fcm/internal/sketch"
+)
+
+// Compile-time contract checks.
+var (
+	_ sketch.Estimator  = (*Sketch)(nil)
+	_ sketch.Sized      = (*Sketch)(nil)
+	_ sketch.Resettable = (*Sketch)(nil)
+	_ sketch.Mergeable  = (*Sketch)(nil)
 )
 
 // Sketch is a d×w Count-Min sketch.
@@ -145,6 +154,27 @@ func (s *Sketch) Reset() {
 // Row exposes a row's counters (read-only use) for control-plane analysis
 // such as MRAC-style EM on a single row.
 func (s *Sketch) Row(r int) []uint32 { return s.rows[r] }
+
+// MergeFrom implements sketch.Mergeable: counter-wise saturating addition.
+// For plain CM the merge is exact (the merged sketch equals one that
+// ingested both streams); for CU it is the standard upper bound, since CU's
+// update rule depends on arrival interleaving.
+func (s *Sketch) MergeFrom(other sketch.Estimator) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return fmt.Errorf("cmsketch: cannot merge %T into *cmsketch.Sketch", other)
+	}
+	if len(s.rows) != len(o.rows) || s.w != o.w || s.bits != o.bits || s.conservative != o.conservative {
+		return fmt.Errorf("cmsketch: merge config mismatch: %dx%d/%db vs %dx%d/%db",
+			len(s.rows), s.w, s.bits, len(o.rows), o.w, o.bits)
+	}
+	for r, row := range s.rows {
+		for i, v := range o.rows[r] {
+			row[i] = satAdd(row[i], uint64(v), s.max)
+		}
+	}
+	return nil
+}
 
 // satAdd adds inc to v, saturating at max.
 func satAdd(v uint32, inc uint64, max uint32) uint32 {

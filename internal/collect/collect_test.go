@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/fcmsketch/fcm/internal/core"
+	"github.com/fcmsketch/fcm/internal/engine"
 	"github.com/fcmsketch/fcm/internal/hashing"
 )
 
@@ -151,7 +152,7 @@ func TestEncodeValidation(t *testing.T) {
 
 func TestServerClientRoundTrip(t *testing.T) {
 	s := filledSketch(t)
-	srv, err := NewServer("127.0.0.1:0", s)
+	srv, err := NewServer("127.0.0.1:0", NewLockedSketch(s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,14 +196,15 @@ func TestServerClientRoundTrip(t *testing.T) {
 }
 
 func TestServerConcurrentCollect(t *testing.T) {
-	s := filledSketch(t)
-	srv, err := NewServer("127.0.0.1:0", s)
+	ls := NewLockedSketch(filledSketch(t))
+	srv, err := NewServer("127.0.0.1:0", ls)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 
-	// Writer keeps updating under the server lock while readers collect.
+	// Writer keeps updating through the locked source while readers
+	// collect copy-on-read snapshots.
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -214,9 +216,7 @@ func TestServerConcurrentCollect(t *testing.T) {
 				return
 			default:
 			}
-			srv.Lock()
-			s.Update(k(i%100), 1)
-			srv.Unlock()
+			ls.Update(k(i%100), 1)
 		}
 	}()
 
@@ -236,6 +236,66 @@ func TestServerConcurrentCollect(t *testing.T) {
 	wg.Wait()
 }
 
+// TestServerShardedEngineSource serves a 4-shard engine while 4 writers
+// ingest concurrently: collection must observe consistent snapshots and
+// never stall ingest (no global lock exists to stall it with).
+func TestServerShardedEngineSource(t *testing.T) {
+	eng, err := engine.New(engine.Config{
+		Shards: 4,
+		Build: func() (*core.Sketch, error) {
+			return core.New(core.Config{
+				K: 4, Trees: 2, LeafWidth: 256, Widths: []int{8, 16, 32},
+				Hash: hashing.NewBobFamily(42),
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const writers, perWriter = 4, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				eng.UpdateShard(w, k(uint64(w*1000+i%200)), 1)
+			}
+		}(w)
+	}
+
+	cl, err := Dial(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := cl.ReadSketch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+
+	// The final collected snapshot equals the engine's own exact merge.
+	snap, err := cl.ReadSketch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := snap.Restore(hashing.NewBobFamily(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sketchesEqual(restored, eng.SnapshotSketch()) {
+		t.Error("collected snapshot differs from engine merge")
+	}
+}
+
 func TestClientDialError(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1", 50*time.Millisecond); err == nil {
 		t.Error("expected dial error to closed port")
@@ -244,7 +304,7 @@ func TestClientDialError(t *testing.T) {
 
 func TestServerRejectsUnknownOpcode(t *testing.T) {
 	s := filledSketch(t)
-	srv, err := NewServer("127.0.0.1:0", s)
+	srv, err := NewServer("127.0.0.1:0", NewLockedSketch(s))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,7 +22,7 @@ func TestPollerValidation(t *testing.T) {
 
 func TestPollerCollectsAndResets(t *testing.T) {
 	s := filledSketch(t)
-	srv, err := NewServer("127.0.0.1:0", s)
+	srv, err := NewServer("127.0.0.1:0", NewLockedSketch(s))
 	if err != nil {
 		t.Fatal(err)
 	}

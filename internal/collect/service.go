@@ -29,25 +29,38 @@ const (
 	maxFrame = 256 << 20
 )
 
+// Source is the data plane the server collects from. Implementations
+// provide copy-on-read snapshots: SnapshotSketch returns a consistent copy
+// the server owns, taken under the source's own short-lived
+// synchronization, so collection never holds a lock across the encode or
+// the network write and ingest is stalled for at most one register copy.
+// engine.Engine (sharded multi-writer ingest) and LockedSketch
+// (single-writer fallback) both satisfy it.
+type Source interface {
+	// SnapshotSketch returns a consistent register copy the caller owns.
+	SnapshotSketch() *core.Sketch
+	// ResetSketch clears the registers (window rotation).
+	ResetSketch()
+}
+
 // Server exposes a data plane's sketch registers over TCP so a controller
 // can collect them in batch.
 type Server struct {
-	mu     sync.Mutex
-	sketch *core.Sketch
+	src    Source
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
 
-// NewServer starts serving the sketch on addr (use "127.0.0.1:0" for an
-// ephemeral test port). The sketch may keep receiving updates; reads are
-// serialized against them via Lock.
-func NewServer(addr string, sketch *core.Sketch) (*Server, error) {
+// NewServer starts serving the source on addr (use "127.0.0.1:0" for an
+// ephemeral test port). The source may keep receiving updates; every read
+// gets an independent copy-on-read snapshot.
+func NewServer(addr string, src Source) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("collect: listen: %w", err)
 	}
-	s := &Server{sketch: sketch, ln: ln, closed: make(chan struct{})}
+	s := &Server{src: src, ln: ln, closed: make(chan struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -56,12 +69,46 @@ func NewServer(addr string, sketch *core.Sketch) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Lock serializes data-plane updates against collection. Callers feeding
-// the sketch concurrently must hold it around Update calls.
-func (s *Server) Lock() { s.mu.Lock() }
+// LockedSketch adapts a single-writer sketch into a Source: the writer
+// wraps updates in Lock/Unlock and the snapshot copy briefly takes the
+// same lock. Multi-writer pipelines should use engine.Engine instead,
+// whose per-shard locks don't serialize the whole hot path.
+type LockedSketch struct {
+	mu sync.Mutex
+	sk *core.Sketch
+}
 
-// Unlock releases the update lock.
-func (s *Server) Unlock() { s.mu.Unlock() }
+// NewLockedSketch wraps a sketch with the single-writer lock discipline.
+func NewLockedSketch(sk *core.Sketch) *LockedSketch { return &LockedSketch{sk: sk} }
+
+// Lock serializes the writer against snapshot copies; hold it around
+// Update calls.
+func (l *LockedSketch) Lock() { l.mu.Lock() }
+
+// Unlock releases the writer lock.
+func (l *LockedSketch) Unlock() { l.mu.Unlock() }
+
+// Update records one update under the lock.
+func (l *LockedSketch) Update(key []byte, inc uint64) {
+	l.mu.Lock()
+	l.sk.Update(key, inc)
+	l.mu.Unlock()
+}
+
+// SnapshotSketch implements Source: the lock is held only for the copy.
+func (l *LockedSketch) SnapshotSketch() *core.Sketch {
+	l.mu.Lock()
+	c := l.sk.Clone()
+	l.mu.Unlock()
+	return c
+}
+
+// ResetSketch implements Source.
+func (l *LockedSketch) ResetSketch() {
+	l.mu.Lock()
+	l.sk.Reset()
+	l.mu.Unlock()
+}
 
 // Close stops the listener and waits for in-flight connections.
 func (s *Server) Close() error {
@@ -106,9 +153,9 @@ func (s *Server) serve(conn net.Conn) {
 		}
 		switch req[0] {
 		case OpReadSketch:
-			s.mu.Lock()
-			snap := TakeSnapshot(s.sketch)
-			s.mu.Unlock()
+			// The source hands over an owned copy; encoding and the
+			// network write below run with no data-plane lock held.
+			snap := TakeSnapshot(s.src.SnapshotSketch())
 			data, err := snap.Encode()
 			if err != nil {
 				writeError(conn, err.Error()) //nolint:errcheck
@@ -118,9 +165,7 @@ func (s *Server) serve(conn net.Conn) {
 				return
 			}
 		case OpResetSketch:
-			s.mu.Lock()
-			s.sketch.Reset()
-			s.mu.Unlock()
+			s.src.ResetSketch()
 			if err := writeFrame(conn, []byte{statusOK}); err != nil {
 				return
 			}

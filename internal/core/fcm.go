@@ -126,7 +126,9 @@ func New(cfg Config) (*Sketch, error) {
 	if fam == nil {
 		fam = hashing.NewBobFamily(0xfc0fc0)
 	}
-	s := &Sketch{k: cfg.K, widths: widths, w1: w1, conservative: cfg.Conservative}
+	// Copy widths so a caller mutating its Config slice after New cannot
+	// corrupt the sketch geometry.
+	s := &Sketch{k: cfg.K, widths: append([]int(nil), widths...), w1: w1, conservative: cfg.Conservative}
 	for t := 0; t < cfg.Trees; t++ {
 		tr := &tree{k: cfg.K, hasher: fam.New(t)}
 		w := w1
@@ -305,6 +307,32 @@ func (s *Sketch) Reset() {
 			}
 		}
 	}
+}
+
+// Clone returns a deep copy of the sketch: counters are copied, hash
+// functions (stateless after construction) are shared. The clone ingests
+// and merges independently of the original, so it serves as a consistent
+// read snapshot or as a per-shard replica.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{
+		k:            s.k,
+		widths:       append([]int(nil), s.widths...),
+		w1:           s.w1,
+		conservative: s.conservative,
+	}
+	for _, t := range s.trees {
+		ct := &tree{
+			k:      t.k,
+			max:    append([]uint32(nil), t.max...),
+			mark:   append([]uint32(nil), t.mark...),
+			hasher: t.hasher,
+		}
+		for _, st := range t.stages {
+			ct.stages = append(ct.stages, append([]uint32(nil), st...))
+		}
+		c.trees = append(c.trees, ct)
+	}
+	return c
 }
 
 // K returns the tree arity.

@@ -9,6 +9,15 @@ import (
 	"sort"
 
 	"github.com/fcmsketch/fcm/internal/hashing"
+	"github.com/fcmsketch/fcm/internal/sketch"
+)
+
+// Compile-time contract checks.
+var (
+	_ sketch.Estimator  = (*Sketch)(nil)
+	_ sketch.Sized      = (*Sketch)(nil)
+	_ sketch.Resettable = (*Sketch)(nil)
+	_ sketch.Mergeable  = (*Sketch)(nil)
 )
 
 // Sketch is an r×w Count-Sketch.
@@ -91,6 +100,26 @@ func (s *Sketch) Estimate(key []byte) uint64 {
 		return 0
 	}
 	return uint64(v)
+}
+
+// MergeFrom implements sketch.Mergeable: counter-wise addition. Exact —
+// Count-Sketch updates are linear, so the merged sketch is identical to one
+// that ingested both streams.
+func (s *Sketch) MergeFrom(other sketch.Estimator) error {
+	o, ok := other.(*Sketch)
+	if !ok {
+		return fmt.Errorf("countsketch: cannot merge %T into *countsketch.Sketch", other)
+	}
+	if len(s.rows) != len(o.rows) || s.w != o.w {
+		return fmt.Errorf("countsketch: merge config mismatch: %dx%d vs %dx%d",
+			len(s.rows), s.w, len(o.rows), o.w)
+	}
+	for r, row := range s.rows {
+		for i, v := range o.rows[r] {
+			row[i] += v
+		}
+	}
+	return nil
 }
 
 // MemoryBytes implements sketch.Sized.

@@ -1,0 +1,7 @@
+package elastic
+
+import "github.com/fcmsketch/fcm/internal/sketch"
+
+// Compile-time contract checks: ElasticSketch offers the full data-plane
+// surface (ingest, point queries, cardinality, memory, reset).
+var _ sketch.Sketch = (*Sketch)(nil)

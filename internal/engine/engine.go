@@ -1,0 +1,225 @@
+// Package engine provides the sharded concurrent ingest engine: N
+// identically-configured FCM-Sketch shards fed by multiple writers, with
+// exact merge (internal/core's Merge, §5 of the paper) into a consistent
+// read snapshot on demand. Because the merge is exact, the merged snapshot
+// is bit-identical to a single sketch that ingested the whole stream
+// serially — sharding costs nothing in accuracy, only memory for the
+// per-shard replicas.
+//
+// Writers pick shards two ways:
+//
+//   - Key affinity (Update): the shard is chosen by an independent hash of
+//     the key, so one flow's packets always serialize on the same shard
+//     lock. This is the drop-in mode for arbitrary goroutine pools.
+//   - Shard ownership (UpdateShard): the caller assigns one shard per
+//     writer goroutine. The per-shard mutex is then uncontended and the
+//     engine scales with writer count.
+//
+// Readers never stall ingest: Snapshot copies each shard's registers under
+// that shard's lock only for the duration of the copy, then merges the
+// copies outside all locks. A shard is blocked for one memcpy, not for the
+// encode or network write of a collection.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/fcmsketch/fcm/internal/core"
+	"github.com/fcmsketch/fcm/internal/hashing"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Shards is the number of per-writer sketch replicas (default 1).
+	Shards int
+	// Build constructs one shard. It must return identically-configured
+	// sketches (same geometry AND same hash family) on every call, or
+	// merging is silently meaningless; geometry mismatches are caught.
+	Build func() (*core.Sketch, error)
+	// ShardHash picks the shard for key-affinity updates; nil selects a
+	// BobHash decorrelated from the sketch's own hash functions.
+	ShardHash hashing.Hasher
+}
+
+// shard pads each slot so neighbouring shard locks do not false-share a
+// cache line under concurrent writers.
+type shard struct {
+	mu  sync.Mutex
+	sk  *core.Sketch
+	gen atomic.Uint64 // bumped on every update; snapshot cache validity
+	_   [64 - 8]byte
+}
+
+// Engine is a sharded multi-writer FCM-Sketch.
+type Engine struct {
+	shards []shard
+	hasher hashing.Hasher
+}
+
+// New builds an engine with cfg.Shards replicas from cfg.Build.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("engine: Build is required")
+	}
+	n := cfg.Shards
+	if n == 0 {
+		n = 1
+	}
+	if n < 1 || n > 1024 {
+		return nil, fmt.Errorf("engine: shard count %d out of range [1,1024]", n)
+	}
+	h := cfg.ShardHash
+	if h == nil {
+		// A seed unrelated to the sketch families (0xfc3141-derived) so
+		// shard choice is independent of counter placement.
+		h = hashing.NewBob(0x5eedca7e)
+	}
+	e := &Engine{shards: make([]shard, n), hasher: h}
+	for i := range e.shards {
+		sk, err := cfg.Build()
+		if err != nil {
+			return nil, fmt.Errorf("engine: building shard %d: %w", i, err)
+		}
+		e.shards[i].sk = sk
+	}
+	return e, nil
+}
+
+// NumShards returns the shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// ShardOf returns the key-affinity shard index for key.
+func (e *Engine) ShardOf(key []byte) int {
+	if len(e.shards) == 1 {
+		return 0
+	}
+	return hashing.Reduce(e.hasher.Hash(key), len(e.shards))
+}
+
+// Update records inc occurrences of key on its key-affinity shard. Safe
+// for any number of concurrent callers.
+func (e *Engine) Update(key []byte, inc uint64) {
+	e.UpdateShard(e.ShardOf(key), key, inc)
+}
+
+// UpdateShard records inc occurrences of key on shard i — the
+// shard-ownership path for writer goroutines that each own one shard. The
+// per-shard lock is still taken (so snapshots stay consistent) but is
+// uncontended when each goroutine sticks to its own shard.
+func (e *Engine) UpdateShard(i int, key []byte, inc uint64) {
+	sh := &e.shards[i]
+	sh.mu.Lock()
+	sh.sk.Update(key, inc)
+	sh.gen.Add(1)
+	sh.mu.Unlock()
+}
+
+// MergeShard folds o — which must share the shards' geometry and hash
+// functions — into shard i under that shard's lock. The caller keeps
+// ownership of o. Because FCM's merge is exact, this is equivalent to
+// replaying o's whole stream into shard i.
+func (e *Engine) MergeShard(i int, o *core.Sketch) error {
+	sh := &e.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.sk.Merge(o); err != nil {
+		return err
+	}
+	sh.gen.Add(1)
+	return nil
+}
+
+// Generation returns a counter that increases with every update on any
+// shard. Two equal readings with no snapshot in between mean the engine's
+// contents did not change, which lets callers cache merged snapshots.
+func (e *Engine) Generation() uint64 {
+	var g uint64
+	for i := range e.shards {
+		g += e.shards[i].gen.Load()
+	}
+	return g
+}
+
+// Snapshot returns the exact merge of every shard as a sketch the caller
+// owns, plus the engine generation the snapshot corresponds to (a lower
+// bound: updates racing with the copy may or may not be included, exactly
+// as with any streaming snapshot). Each shard is locked only while its
+// registers are copied; the merge runs outside all locks.
+func (e *Engine) Snapshot() (*core.Sketch, uint64) {
+	clones := make([]*core.Sketch, len(e.shards))
+	var gen uint64
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		clones[i] = sh.sk.Clone()
+		gen += sh.gen.Load()
+		sh.mu.Unlock()
+	}
+	merged := clones[0]
+	for _, c := range clones[1:] {
+		if err := merged.Merge(c); err != nil {
+			// Build returned inconsistent geometries — a constructor
+			// contract violation, not a runtime condition.
+			panic(fmt.Sprintf("engine: shards not mergeable: %v", err))
+		}
+	}
+	return merged, gen
+}
+
+// Rotate atomically snapshots and clears each shard, returning the exact
+// merge of the closed window. Updates concurrent with Rotate land in
+// either the closed or the new window (never both, never neither).
+func (e *Engine) Rotate() *core.Sketch {
+	clones := make([]*core.Sketch, len(e.shards))
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		clones[i] = sh.sk.Clone()
+		sh.sk.Reset()
+		sh.gen.Add(1)
+		sh.mu.Unlock()
+	}
+	merged := clones[0]
+	for _, c := range clones[1:] {
+		if err := merged.Merge(c); err != nil {
+			panic(fmt.Sprintf("engine: shards not mergeable: %v", err))
+		}
+	}
+	return merged
+}
+
+// Reset clears every shard.
+func (e *Engine) Reset() {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		sh.sk.Reset()
+		sh.gen.Add(1)
+		sh.mu.Unlock()
+	}
+}
+
+// MemoryBytes returns the combined footprint of all shard replicas.
+func (e *Engine) MemoryBytes() int {
+	total := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		total += sh.sk.MemoryBytes()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// SnapshotSketch implements the collect.Source contract: a consistent
+// copy-on-read register snapshot for the collection server.
+func (e *Engine) SnapshotSketch() *core.Sketch {
+	sk, _ := e.Snapshot()
+	return sk
+}
+
+// ResetSketch implements the collect.Source contract (window rotation over
+// the wire).
+func (e *Engine) ResetSketch() { e.Reset() }

@@ -18,6 +18,7 @@ import (
 
 	"github.com/fcmsketch/fcm/internal/exact"
 	"github.com/fcmsketch/fcm/internal/metrics"
+	"github.com/fcmsketch/fcm/internal/sketch"
 	"github.com/fcmsketch/fcm/internal/trace"
 )
 
@@ -32,6 +33,9 @@ type Options struct {
 	EMIterations int
 	// Workers is the EM parallelism (0 = all cores).
 	Workers int
+	// Shards bounds the shard sweep of the shardedspeed experiment
+	// (default 8: the sweep covers 1, 2, 4, 8 shards).
+	Shards int
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
 }
@@ -102,14 +106,8 @@ func (o Options) caidaTrace() (*trace.Trace, error) {
 // Evaluation helpers shared by the runners.
 // ---------------------------------------------------------------------------
 
-// estimator is any point-query structure.
-type estimator interface {
-	Update(key []byte, inc uint64)
-	Estimate(key []byte) uint64
-}
-
 // ingest streams every packet of tr into each structure, in arrival order.
-func ingest(tr *trace.Trace, updaters ...interface{ Update([]byte, uint64) }) {
+func ingest(tr *trace.Trace, updaters ...sketch.Updater) {
 	tr.ForEachPacket(func(_ int, key []byte) {
 		for _, u := range updaters {
 			u.Update(key, 1)
@@ -118,7 +116,7 @@ func ingest(tr *trace.Trace, updaters ...interface{ Update([]byte, uint64) }) {
 }
 
 // flowErrors queries every flow and returns (ARE, AAE) against the truth.
-func flowErrors(tr *trace.Trace, est estimator) (are, aae float64) {
+func flowErrors(tr *trace.Trace, est sketch.Estimator) (are, aae float64) {
 	truth := make([]float64, tr.NumFlows())
 	got := make([]float64, tr.NumFlows())
 	for i, k := range tr.Keys {
@@ -142,7 +140,7 @@ func trueHH(tr *trace.Trace, threshold uint64) map[string]uint64 {
 // hhF1ByQuery scores candidate-query heavy-hitter detection: every flow key
 // is queried and reported when the estimate crosses the threshold (how CM,
 // FCM and PCM detect heavy hitters).
-func hhF1ByQuery(tr *trace.Trace, est estimator, threshold uint64) float64 {
+func hhF1ByQuery(tr *trace.Trace, est sketch.Estimator, threshold uint64) float64 {
 	truth := trueHH(tr, threshold)
 	reported := make(map[string]uint64)
 	for _, k := range tr.Keys {

@@ -11,6 +11,7 @@ import (
 	"github.com/fcmsketch/fcm/internal/hashpipe"
 	"github.com/fcmsketch/fcm/internal/metrics"
 	"github.com/fcmsketch/fcm/internal/pyramid"
+	"github.com/fcmsketch/fcm/internal/sketch"
 	"github.com/fcmsketch/fcm/internal/univmon"
 )
 
@@ -146,10 +147,10 @@ func RunSpeed(o Options) ([]*Table, error) {
 
 	type variant struct {
 		name string
-		u    interface{ Update([]byte, uint64) }
+		u    sketch.Updater
 	}
 	var variants []variant
-	add := func(name string, u interface{ Update([]byte, uint64) }, err error) error {
+	add := func(name string, u sketch.Updater, err error) error {
 		if err != nil {
 			return fmt.Errorf("speed: %s: %w", name, err)
 		}

@@ -10,6 +10,7 @@ import (
 	"github.com/fcmsketch/fcm/internal/em"
 	"github.com/fcmsketch/fcm/internal/metrics"
 	"github.com/fcmsketch/fcm/internal/pisa"
+	"github.com/fcmsketch/fcm/internal/sketch"
 )
 
 // hwMemory is §8's 1.3MB configuration, scaled.
@@ -233,7 +234,7 @@ func RunFig14(o Options) ([]*Table, error) {
 	}
 
 	// Ingest once for all.
-	updaters := make([]interface{ Update([]byte, uint64) }, len(variants))
+	updaters := make([]sketch.Updater, len(variants))
 	for i := range variants {
 		updaters[i] = variants[i].sw
 	}

@@ -34,6 +34,7 @@ var registry = map[string]Experiment{
 	"ablation": {"ablation", "Design ablations: overflow indicator, widths, conservative update", RunAblation},
 	"hc":       {"hc", "Heavy-change detection across windows (footnote 4)", RunHeavyChange},
 	"speed":    {"speed", "Single-core ingest throughput of every structure", RunSpeed},
+	"shardedspeed": {"shardedspeed", "Multi-writer sharded ingest throughput + exact-merge check", RunShardedSpeed},
 }
 
 // Lookup returns the experiment with the given ID.

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"sync"
+	"time"
+
+	"github.com/fcmsketch/fcm"
+)
+
+// RunShardedSpeed measures multi-writer ingest throughput of the sharded
+// engine across a shard sweep (1, 2, 4, … up to Options.Shards, default 8):
+// one goroutine per shard replays its slice of the trace through
+// UpdateShard, and the closing exact-merge snapshot is checked bit-identical
+// to a serial replay — the §5 merge property that makes sharding lossless.
+// Speedup over the 1-shard row depends on available cores; the merge check
+// does not.
+func RunShardedSpeed(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	maxShards := o.Shards
+	if maxShards <= 0 {
+		maxShards = 8
+	}
+	tr, err := o.caidaTrace()
+	if err != nil {
+		return nil, err
+	}
+	cfg := fcm.Config{MemoryBytes: o.MemoryBytes(), Seed: uint32(o.Seed)}
+
+	// Serial reference for both the speedup baseline and the merge check.
+	serial, err := fcm.NewSketch(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	tr.ForEachPacket(func(_ int, key []byte) { serial.Update(key, 1) })
+	serialSec := time.Since(start).Seconds()
+	serialMpps := float64(tr.NumPackets()) / serialSec / 1e6
+	o.logf("shardedspeed: serial baseline %.2f Mpps", serialMpps)
+
+	t := &Table{ID: "shardedspeed",
+		Title:     "Sharded concurrent ingest throughput and exact-merge check",
+		PaperNote: "§5: shard merge is exact, so parallel ingest is bit-identical to serial",
+		Headers:   []string{"shards", "Mpps", "speedup", "bit-identical"}}
+	t.AddRow(0, serialMpps, 1.0, true) // shards=0 row: the plain serial Sketch
+
+	for shards := 1; shards <= maxShards; shards *= 2 {
+		sh, err := fcm.NewSharded(cfg, shards)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < shards; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				i := 0
+				tr.ForEachPacket(func(_ int, key []byte) {
+					if i%shards == w {
+						sh.UpdateShard(w, key, 1)
+					}
+					i++
+				})
+			}(w)
+		}
+		wg.Wait()
+		sec := time.Since(start).Seconds()
+		mpps := float64(tr.NumPackets()) / sec / 1e6
+		t.AddRow(shards, mpps, mpps/serialMpps, registersEqual(sh.Snapshot(), serial))
+		o.logf("shardedspeed: %d shards done (%.2f Mpps)", shards, mpps)
+	}
+	return []*Table{t}, nil
+}
+
+// registersEqual reports whether two sketches hold bit-identical registers.
+func registersEqual(a, b *fcm.Sketch) bool {
+	ac, bc := a.Core(), b.Core()
+	if ac.NumTrees() != bc.NumTrees() || ac.Depth() != bc.Depth() {
+		return false
+	}
+	for tree := 0; tree < ac.NumTrees(); tree++ {
+		for l := 0; l < ac.Depth(); l++ {
+			av, bv := ac.StageValues(tree, l), bc.StageValues(tree, l)
+			if len(av) != len(bv) {
+				return false
+			}
+			for i := range av {
+				if av[i] != bv[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,10 @@
+package pyramid
+
+import "github.com/fcmsketch/fcm/internal/sketch"
+
+// Compile-time contract checks (PCM has no cardinality estimator).
+var (
+	_ sketch.Estimator  = (*Sketch)(nil)
+	_ sketch.Sized      = (*Sketch)(nil)
+	_ sketch.Resettable = (*Sketch)(nil)
+)

@@ -33,3 +33,40 @@ type CardinalityEstimator interface {
 type Resettable interface {
 	Reset()
 }
+
+// Mergeable folds another structure of the same concrete type and
+// configuration into the receiver. FCM-Sketch's merge is exact (§5 of the
+// paper): the result is bit-identical to a structure that ingested both
+// streams, which is what makes per-switch and per-shard collection
+// composable. Other implementations (Count-Min, Count-Sketch) are exact
+// too; compositions with a Top-K filter document their approximation.
+type Mergeable interface {
+	Estimator
+	// MergeFrom folds other into the receiver. It fails when other is a
+	// different concrete type or was built with a different
+	// configuration (geometry or hash seeds).
+	MergeFrom(other Estimator) error
+}
+
+// Snapshotter yields a consistent, independently-owned copy of the
+// structure. Snapshots let readers (collectors, query servers) work on a
+// frozen view while writers keep ingesting: the copy is taken under the
+// structure's own short-lived synchronization, never holding a lock across
+// encode or network I/O.
+type Snapshotter interface {
+	// SnapshotEstimator returns a point-in-time copy that the caller
+	// owns. For sharded structures the copy is the exact merge of every
+	// shard — bit-identical to a serial ingest of the same stream.
+	// Implementations usually also expose a concretely-typed Snapshot
+	// method; this one exists for generic consumers.
+	SnapshotEstimator() Estimator
+}
+
+// Sketch is the full data-plane contract satisfied by fcm.Sketch: ingest,
+// point queries, cardinality, memory accounting and window reuse.
+type Sketch interface {
+	Estimator
+	Sized
+	CardinalityEstimator
+	Resettable
+}

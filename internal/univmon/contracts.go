@@ -1,0 +1,7 @@
+package univmon
+
+import "github.com/fcmsketch/fcm/internal/sketch"
+
+// Compile-time contract checks: UnivMon offers the full data-plane surface
+// (ingest, point queries, cardinality, memory, reset).
+var _ sketch.Sketch = (*Sketch)(nil)

@@ -5,6 +5,7 @@ import (
 
 	"github.com/fcmsketch/fcm/internal/em"
 	"github.com/fcmsketch/fcm/internal/hashing"
+	"github.com/fcmsketch/fcm/internal/sketch"
 	"github.com/fcmsketch/fcm/internal/topk"
 )
 
@@ -31,6 +32,7 @@ type TopKConfig struct {
 // filter; everything else lands in the FCM-Sketch. Unlike the plain
 // Sketch, it can enumerate its heavy hitters.
 type TopKSketch struct {
+	cfg    TopKConfig
 	filter *topk.Filter
 	sketch *Sketch
 }
@@ -70,7 +72,10 @@ func NewTopK(cfg TopKConfig) (*TopKSketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TopKSketch{filter: filter, sketch: sk}, nil
+	cfg.TopKEntries = entries
+	cfg.TopKLevels = levels
+	cfg.Config = sk.Config()
+	return &TopKSketch{cfg: cfg, filter: filter, sketch: sk}, nil
 }
 
 // Update records inc occurrences of key.
@@ -173,4 +178,35 @@ func (t *TopKSketch) Filter() *topk.Filter { return t.filter }
 func (t *TopKSketch) Reset() {
 	t.filter.Reset()
 	t.sketch.Reset()
+}
+
+// MergeFrom implements the sketch.Mergeable contract for FCM+TopK. The
+// residual FCM-Sketches merge exactly; the other filter's resident flows
+// are then re-inserted through this filter's normal update path, so
+// evictions spill into the sketch exactly as if those packets had arrived
+// here. Unlike Sketch.Merge this is approximate (eviction order depends on
+// arrival order), but estimates remain one-sided for unflagged residents.
+func (t *TopKSketch) MergeFrom(other sketch.Estimator) error {
+	o, ok := other.(*TopKSketch)
+	if !ok {
+		return fmt.Errorf("fcm: cannot merge %T into *fcm.TopKSketch", other)
+	}
+	if !configsEqual(t.cfg.Config, o.cfg.Config) ||
+		t.cfg.TopKEntries != o.cfg.TopKEntries || t.cfg.TopKLevels != o.cfg.TopKLevels ||
+		t.cfg.NoEviction != o.cfg.NoEviction {
+		return fmt.Errorf("fcm: topk merge config mismatch: %+v vs %+v", t.cfg, o.cfg)
+	}
+	if err := t.sketch.Merge(o.sketch); err != nil {
+		return err
+	}
+	o.filter.Entries(func(key []byte, count uint64, _ bool) {
+		if count == 0 {
+			return
+		}
+		rk, rc := t.filter.Update(key, count)
+		if rc != 0 {
+			t.sketch.Update(rk, rc)
+		}
+	})
+	return nil
 }
