@@ -7,3 +7,11 @@ set -eux
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Chaos gate: the fault-injection suite under -race, run explicitly (and
+# without test caching) so collection-plane robustness cannot silently
+# rot. Fault schedules are drawn from fixed seeds baked into the tests
+# (chaosSeed=42 and per-test constants), so failures reproduce exactly.
+go test -race -count=1 \
+  -run 'Chaos|Blackhole|AcceptLoop|MaxConns|Idle|Skipped|Retries|StalledPeer|Stop' \
+  ./internal/collect/ ./internal/faultnet/

@@ -3,10 +3,18 @@
 // virtual counters and runs the EM estimator — printing cardinality, the
 // estimated flow-size distribution head, and entropy (§4).
 //
+// Collection is hardened for real networks: per-operation I/O deadlines,
+// and (for the idempotent register read) automatic reconnect with capped
+// exponential backoff. With -poll the collector runs the periodic loop of
+// §4.4 instead of a one-shot read, tracking the switch's health
+// (healthy/degraded/down) and reporting windows that were skipped while it
+// was unreachable.
+//
 // Usage:
 //
 //	fcmctl -connect 127.0.0.1:9401
 //	fcmctl -connect 127.0.0.1:9401 -iters 10 -reset
+//	fcmctl -connect 127.0.0.1:9401 -poll 5s -reset -retries 2
 package main
 
 import (
@@ -14,6 +22,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/fcmsketch/fcm"
@@ -28,10 +38,24 @@ func main() {
 		workers = flag.Int("workers", 0, "EM worker goroutines (0 = all cores)")
 		reset   = flag.Bool("reset", false, "reset the data plane after collecting (window rotation)")
 		head    = flag.Int("head", 10, "print the first N sizes of the estimated distribution")
+		dialTO  = flag.Duration("timeout", 5*time.Second, "connection dial timeout")
+		ioTO    = flag.Duration("io-timeout", 5*time.Second, "per-read/write deadline on the wire")
+		retries = flag.Int("retries", 2, "extra attempts for the register read (reconnect + backoff)")
+		poll    = flag.Duration("poll", 0, "collect repeatedly at this interval instead of once")
 	)
 	flag.Parse()
 
-	cl, err := collect.Dial(*addr, 5*time.Second)
+	if *poll > 0 {
+		runPoller(*addr, *poll, *ioTO, *retries, *reset)
+		return
+	}
+
+	cl, err := collect.NewClient(collect.ClientConfig{
+		Addr:        *addr,
+		DialTimeout: *dialTO,
+		IOTimeout:   *ioTO,
+		MaxRetries:  *retries,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -42,9 +66,71 @@ func main() {
 	if err != nil {
 		fatalf("reading sketch: %v", err)
 	}
+	if st := cl.Stats(); st.Retries > 0 {
+		fmt.Fprintf(os.Stderr, "fcmctl: read needed %d retries over %d dials\n", st.Retries, st.Dials)
+	}
 	fmt.Printf("collected %d-tree %d-ary sketch (w1=%d) in %s\n",
 		snap.Trees, snap.K, snap.W1, time.Since(start).Round(time.Millisecond))
 
+	report(snap, *iters, *workers, *head)
+
+	if *reset {
+		if err := cl.ResetSketch(); err != nil {
+			fatalf("reset: %v", err)
+		}
+		fmt.Println("data plane reset for the next window")
+	}
+}
+
+// runPoller is the -poll mode: the §4.4 periodic collection loop with
+// health tracking and skipped-window reporting. It runs until SIGINT or
+// SIGTERM.
+func runPoller(addr string, interval, timeout time.Duration, retries int, reset bool) {
+	p, err := collect.NewPoller(collect.PollerConfig{
+		Addr:     addr,
+		Interval: interval,
+		Timeout:  timeout,
+		Retries:  retries,
+		Reset:    reset,
+		OnWindow: func(snap *collect.Snapshot, skipped int) {
+			sk, err := snap.Restore(nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fcmctl: restoring window: %v\n", err)
+				return
+			}
+			note := ""
+			if skipped > 0 {
+				note = fmt.Sprintf(" (folds %d skipped windows)", skipped)
+			}
+			fmt.Printf("%s window: cardinality %.0f%s\n",
+				time.Now().Format(time.TimeOnly), sk.Cardinality(), note)
+		},
+		OnError: func(err error) {
+			fmt.Fprintf(os.Stderr, "fcmctl: collection failed: %v\n", err)
+		},
+		OnStateChange: func(from, to collect.State) {
+			fmt.Fprintf(os.Stderr, "fcmctl: switch %s: %s -> %s\n", addr, from, to)
+		},
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := p.Start(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("polling %s every %s; SIGINT to stop\n", addr, interval)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	p.Stop()
+	st := p.Stats()
+	fmt.Printf("stopped: %d windows collected, %d failures, %d skipped windows, final state %s\n",
+		st.Collected, st.Failed, st.SkippedWindows, st.State)
+}
+
+// report runs the control-plane estimators over a collected snapshot.
+func report(snap *collect.Snapshot, iters, workers, head int) {
 	sk, err := snap.Restore(nil)
 	if err != nil {
 		fatalf("%v", err)
@@ -52,12 +138,12 @@ func main() {
 	fmt.Printf("cardinality (linear counting): %.0f\n", sk.Cardinality())
 
 	vcs := sk.VirtualCounters()
-	start = time.Now()
+	start := time.Now()
 	res, err := em.Run(em.Config{
 		W1:         snap.W1,
 		Theta1:     sk.StageMax(0),
-		Iterations: *iters,
-		Workers:    *workers,
+		Iterations: iters,
+		Workers:    workers,
 	}, vcs)
 	if err != nil {
 		fatalf("EM: %v", err)
@@ -66,19 +152,12 @@ func main() {
 		res.Iterations, time.Since(start).Round(time.Millisecond), res.N)
 
 	fmt.Println("flow size distribution (head):")
-	for size := 1; size <= *head && size < len(res.Dist); size++ {
+	for size := 1; size <= head && size < len(res.Dist); size++ {
 		fmt.Printf("  size %3d: %10.1f flows\n", size, res.Dist[size])
 	}
 	h := fcm.EntropyOf(res.Dist)
 	if !math.IsNaN(h) {
 		fmt.Printf("entropy estimate: %.4f bits\n", h)
-	}
-
-	if *reset {
-		if err := cl.ResetSketch(); err != nil {
-			fatalf("reset: %v", err)
-		}
-		fmt.Println("data plane reset for the next window")
 	}
 }
 

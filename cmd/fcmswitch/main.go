@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 	"syscall"
+	"time"
 
 	"github.com/fcmsketch/fcm/internal/collect"
 	"github.com/fcmsketch/fcm/internal/core"
@@ -43,6 +44,10 @@ func main() {
 		mem      = flag.Int("mem", 1_300_000, "sketch memory in bytes (paper hardware: 1.3MB)")
 		shards   = flag.Int("shards", 1, "concurrent ingest shards (fcm program only; exact merge keeps results bit-identical)")
 		listen   = flag.String("listen", "", "serve sketch registers on this TCP address")
+		readTO   = flag.Duration("read-timeout", 10*time.Second, "collection server per-frame read deadline")
+		writeTO  = flag.Duration("write-timeout", 10*time.Second, "collection server per-frame write deadline")
+		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "close collection connections idle this long")
+		maxConns = flag.Int("max-conns", 64, "max simultaneous collection connections")
 		hhThresh = flag.Uint64("hh", 0, "print heavy hitters at this threshold (TopK programs)")
 		emitP4   = flag.Bool("emit-p4", false, "print the generated P4 program for the FCM geometry and exit")
 	)
@@ -115,7 +120,12 @@ func main() {
 
 	var srv *collect.Server
 	if *listen != "" && src != nil {
-		srv, err = collect.NewServer(*listen, src)
+		srv, err = collect.NewServerConfig(*listen, src, collect.ServerConfig{
+			ReadTimeout:  *readTO,
+			WriteTimeout: *writeTO,
+			IdleTimeout:  *idleTO,
+			MaxConns:     *maxConns,
+		})
 		if err != nil {
 			fatalf("%v", err)
 		}

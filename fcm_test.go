@@ -278,6 +278,54 @@ func TestFrameworkWindows(t *testing.T) {
 	}
 }
 
+func TestFrameworkAbsorb(t *testing.T) {
+	cfg := Config{LeafWidth: 4096}
+	fw, err := NewFramework(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		fw.Update(k(1), 1)
+	}
+	// A "remote switch" that saw the same flow plus another one.
+	remote, err := NewSketch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		remote.Update(k(1), 1)
+		remote.Update(k(2), 1)
+	}
+	if err := fw.Absorb(remote, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := fw.Estimate(k(1)); got != 150 {
+		t.Errorf("absorbed estimate for flow 1 = %d, want 150", got)
+	}
+	if got := fw.Estimate(k(2)); got != 50 {
+		t.Errorf("absorbed estimate for flow 2 = %d, want 50", got)
+	}
+	if got := fw.WindowPackets(); got != 200 {
+		t.Errorf("window packets %d, want 200", got)
+	}
+	// Absorbed traffic rotates out with the window like direct updates.
+	fw.Rotate()
+	if got := fw.PreviousEstimate(k(2)); got != 50 {
+		t.Errorf("previous estimate after rotate = %d, want 50", got)
+	}
+	if got := fw.Estimate(k(2)); got != 0 {
+		t.Errorf("current estimate after rotate = %d, want 0", got)
+	}
+	// Config mismatch must be rejected, not silently folded.
+	other, err := NewSketch(Config{LeafWidth: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Absorb(other, 0); err == nil {
+		t.Error("expected config-mismatch error from Absorb")
+	}
+}
+
 func TestFrameworkEntropy(t *testing.T) {
 	fw, err := NewFramework(Config{LeafWidth: 8192})
 	if err != nil {

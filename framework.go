@@ -84,6 +84,24 @@ func (f *Framework) Rotate() {
 	f.mu.Unlock()
 }
 
+// Absorb folds a remote sketch into the current window — the aggregation
+// step of network-wide monitoring: switch snapshots are collected, restored,
+// and absorbed here, so the framework's queries answer over the union of
+// the streams. The sketch must share the framework's configuration (the
+// merge is exact, per §5). packets is how many packets sk represents and
+// feeds the window packet counter used by the entropy estimator; pass 0
+// when unknown. Safe for concurrent use, including concurrently with
+// Update and Rotate.
+func (f *Framework) Absorb(sk *Sketch, packets uint64) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if err := f.cur.MergeFrom(sk); err != nil {
+		return err
+	}
+	f.windowPackets.Add(packets)
+	return nil
+}
+
 // Shards returns the data plane's shard count.
 func (f *Framework) Shards() int { return f.cur.Shards() }
 

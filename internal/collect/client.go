@@ -1,0 +1,376 @@
+package collect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ClientConfig configures a collection client. Zero fields take the
+// defaults below.
+type ClientConfig struct {
+	// Addr is the collection server address (required).
+	Addr string
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// IOTimeout is the per-operation read/write deadline (default 5s).
+	// Every frame write and frame read gets a fresh deadline, so a
+	// black-holed server costs at most one IOTimeout per attempt.
+	IOTimeout time.Duration
+	// MaxRetries is how many extra attempts idempotent reads get after a
+	// transport failure (default 0: single attempt). Each retry redials.
+	// Resets are never retried by the client: a reset whose response was
+	// lost may already have rotated the window, and re-sending it would
+	// silently discard a window of data.
+	MaxRetries int
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between retries (defaults 10ms and 1s); each sleep adds up to 50%
+	// seeded jitter so synchronized collectors decorrelate.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterSeed seeds the backoff jitter PRNG; 0 means 1, keeping
+	// retry schedules deterministic for tests.
+	JitterSeed int64
+	// Dial overrides the transport (e.g. to wrap connections with a
+	// fault injector). nil means net.DialTimeout("tcp", ...).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+const (
+	defaultDialTimeout = 5 * time.Second
+	defaultIOTimeout   = 5 * time.Second
+	defaultBackoffBase = 10 * time.Millisecond
+	defaultBackoffMax  = time.Second
+)
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = defaultDialTimeout
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = defaultIOTimeout
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = defaultBackoffBase
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = defaultBackoffMax
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = 1
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return c
+}
+
+// ServerError is a status-error response from the server: the transport
+// worked, the request was rejected. Retrying it cannot help.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "collect: server error: " + e.Msg }
+
+// ClientStats count the client's recovery actions.
+type ClientStats struct {
+	// Dials counts connection establishments (first dial and redials).
+	Dials uint64
+	// Retries counts retried idempotent reads.
+	Retries uint64
+}
+
+// Client pulls snapshots from a Server over a reused connection. It
+// reconnects transparently after transport failures and retries
+// idempotent reads with capped exponential backoff. Methods must not be
+// called concurrently (a Poller or a CLI drives one client).
+type Client struct {
+	cfg ClientConfig
+	rng *rand.Rand // backoff jitter; guarded by mu
+
+	mu   sync.Mutex // guards conn handoff against Close
+	conn net.Conn
+
+	dials   uint64
+	retries uint64
+}
+
+// NewClient builds a client. The connection is established lazily on the
+// first operation (and re-established after failures).
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("collect: client needs an address")
+	}
+	cfg = cfg.withDefaults()
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.JitterSeed))}, nil
+}
+
+// Dial connects to a collection server with the given timeout, applying
+// it to both the dial and every subsequent operation. Kept for
+// compatibility; NewClient exposes the full retry/deadline surface.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	c, err := NewClient(ClientConfig{Addr: addr, DialTimeout: timeout, IOTimeout: timeout})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.ensureConn(context.Background()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the connection (if any). The client stays usable: the
+// next operation redials.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	return conn.Close()
+}
+
+// Stats returns the client's recovery counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ClientStats{Dials: c.dials, Retries: c.retries}
+}
+
+// ReadSketch fetches a register snapshot, retrying per the config.
+func (c *Client) ReadSketch() (*Snapshot, error) {
+	return c.ReadSketchContext(context.Background())
+}
+
+// ReadSketchContext is ReadSketch bounded by ctx: cancellation interrupts
+// an in-flight network operation (the connection deadline is yanked), so
+// callers regain control within one operation, not one timeout.
+func (c *Client) ReadSketchContext(ctx context.Context) (*Snapshot, error) {
+	// Decoding happens inside the retry loop: a snapshot that framed
+	// cleanly but fails its CRC (bit corruption in transit) is an attempt
+	// failure like any other — drop the tainted connection and retry.
+	var snap *Snapshot
+	_, err := c.call(ctx, []byte{OpReadSketch}, true, func(payload []byte) error {
+		s, err := DecodeSnapshot(payload)
+		if err != nil {
+			return err
+		}
+		snap = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// ResetSketch clears the data plane's registers (window rotation). It is
+// never retried — see ClientConfig.MaxRetries.
+func (c *Client) ResetSketch() error {
+	return c.ResetSketchContext(context.Background())
+}
+
+// ResetSketchContext is ResetSketch bounded by ctx.
+func (c *Client) ResetSketchContext(ctx context.Context) error {
+	_, err := c.call(ctx, []byte{OpResetSketch}, false, nil)
+	return err
+}
+
+// call runs one request with the retry policy. decode, when non-nil,
+// validates the response payload; a decode failure counts as an attempt
+// failure — the connection that produced it is dropped (its fault may be
+// persistent, e.g. a corrupting link) and idempotent requests retry.
+func (c *Client) call(ctx context.Context, req []byte, idempotent bool, decode func([]byte) error) ([]byte, error) {
+	attempts := 1
+	if idempotent {
+		attempts += c.cfg.MaxRetries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.retries++
+			c.mu.Unlock()
+			if err := c.backoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+		}
+		payload, err := c.attempt(ctx, req)
+		if err == nil && decode != nil {
+			if derr := decode(payload); derr != nil {
+				c.dropCurrent()
+				err = derr
+			}
+		}
+		if err == nil {
+			return payload, nil
+		}
+		lastErr = err
+		var se *ServerError
+		if errors.As(err, &se) || ctx.Err() != nil {
+			// Deterministic rejection or caller cancellation: retrying
+			// cannot help.
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// backoff sleeps the capped exponential delay for the given retry
+// attempt (1-based), with up to 50% seeded jitter, honoring ctx.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.cfg.BackoffBase << uint(attempt-1)
+	if attempt > 16 || d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	t := time.NewTimer(d + jitter)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ensureConn returns the live connection, dialing if needed.
+func (c *Client) ensureConn(ctx context.Context) (net.Conn, error) {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		return conn, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	conn, err := c.cfg.Dial(c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("collect: dial %s: %w", c.cfg.Addr, err)
+	}
+	c.mu.Lock()
+	c.conn = conn
+	c.dials++
+	c.mu.Unlock()
+	return conn, nil
+}
+
+// dropConn discards a connection after a transport failure so the next
+// attempt redials.
+func (c *Client) dropConn(conn net.Conn) {
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+	conn.Close() //nolint:errcheck // already failed
+}
+
+// dropCurrent discards whatever connection is live right now (used when a
+// response decoded badly: the connection itself may be the fault).
+func (c *Client) dropCurrent() {
+	c.mu.Lock()
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close() //nolint:errcheck // being discarded
+	}
+}
+
+// roundTrip is a single request attempt with no retries (test hook and
+// building block of call).
+func (c *Client) roundTrip(req []byte) ([]byte, error) {
+	return c.attempt(context.Background(), req)
+}
+
+// attempt performs one framed request/response exchange under per-op
+// deadlines, interruptible by ctx.
+func (c *Client) attempt(ctx context.Context, req []byte) ([]byte, error) {
+	conn, err := c.ensureConn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Cancellation watchdog: yank the deadline so blocked I/O returns
+	// immediately instead of waiting out IOTimeout.
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				conn.SetDeadline(time.Unix(1, 0)) //nolint:errcheck // unblocking teardown
+			case <-stop:
+			}
+		}()
+	}
+	conn.SetWriteDeadline(c.opDeadline(ctx)) //nolint:errcheck // enforced by the write
+	if err := writeFrame(conn, req); err != nil {
+		c.dropConn(conn)
+		return nil, c.ctxErr(ctx, fmt.Errorf("collect: sending request: %w", err))
+	}
+	conn.SetReadDeadline(c.opDeadline(ctx)) //nolint:errcheck
+	resp, err := readFrame(conn)
+	if err != nil {
+		c.dropConn(conn)
+		return nil, c.ctxErr(ctx, fmt.Errorf("collect: reading response: %w", err))
+	}
+	payload, err := parseResponse(resp)
+	if err != nil {
+		// Either a server rejection (the server closes its side after
+		// any error) or a corrupt status byte (stream untrustworthy):
+		// drop the connection in both cases.
+		c.dropConn(conn)
+		return nil, err
+	}
+	return payload, nil
+}
+
+// opDeadline is the per-operation deadline: IOTimeout from now, tightened
+// by the context's own deadline if that is sooner.
+func (c *Client) opDeadline(ctx context.Context) time.Time {
+	dl := time.Now().Add(c.cfg.IOTimeout)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(dl) {
+		dl = cd
+	}
+	return dl
+}
+
+// ctxErr prefers the context's error once it fired: a deadline-exceeded
+// I/O error caused by the cancellation watchdog reports as cancellation.
+func (c *Client) ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// parseResponse splits a response payload into status and body. The
+// status byte must be exactly statusOK or statusErr — anything else is
+// stream corruption, not a server verdict.
+func parseResponse(resp []byte) ([]byte, error) {
+	if len(resp) < 1 {
+		return nil, errors.New("collect: empty response")
+	}
+	switch resp[0] {
+	case statusOK:
+		return resp[1:], nil
+	case statusErr:
+		return nil, &ServerError{Msg: string(resp[1:])}
+	default:
+		return nil, fmt.Errorf("collect: corrupt status byte 0x%02x", resp[0])
+	}
+}

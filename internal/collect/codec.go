@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"github.com/fcmsketch/fcm/internal/core"
@@ -16,11 +17,16 @@ import (
 
 // codec constants.
 const (
-	snapshotMagic   = 0x46434d53 // "FCMS"
-	snapshotVersion = 1
+	snapshotMagic = 0x46434d53 // "FCMS"
+	// Version 2 appended the CRC-32C trailer: a flipped bit anywhere in
+	// transit must fail decoding, never silently corrupt merged windows.
+	snapshotVersion = 2
 	// maxSaneBytes bounds decoded allocations against corrupt headers.
 	maxSaneBytes = 1 << 30
 )
+
+// castagnoli is the CRC-32C table for the snapshot integrity trailer.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Snapshot is a decoded register dump of an FCM-Sketch: its geometry plus
 // every stage's raw node values. It carries everything the control plane
@@ -97,7 +103,8 @@ func (s *Snapshot) VirtualCounters() ([][]core.VirtualCounter, error) {
 //	u32 magic, u8 version, u8 trees, u8 stages, u8 pad,
 //	u32 k, u32 w1,
 //	stages × u8 width-bits,
-//	trees × stages × (u32 count, count × u32 value)
+//	trees × stages × (u32 count, count × u32 value),
+//	u32 crc32c over everything above
 func (s *Snapshot) Encode() ([]byte, error) {
 	if s.Trees <= 0 || s.Trees > 255 || len(s.Widths) == 0 || len(s.Widths) > 255 {
 		return nil, fmt.Errorf("collect: snapshot geometry out of range: trees=%d stages=%d",
@@ -127,12 +134,22 @@ func (s *Snapshot) Encode() ([]byte, error) {
 			}
 		}
 	}
+	w(crc32.Checksum(buf.Bytes(), castagnoli))
 	return buf.Bytes(), nil
 }
 
-// DecodeSnapshot parses an encoded snapshot.
+// DecodeSnapshot parses an encoded snapshot, verifying the CRC-32C
+// trailer first so corruption anywhere in the payload is rejected before
+// any field is trusted.
 func DecodeSnapshot(data []byte) (*Snapshot, error) {
-	r := bytes.NewReader(data)
+	if len(data) < 4 {
+		return nil, fmt.Errorf("collect: snapshot of %dB too short for checksum", len(data))
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if want, got := binary.BigEndian.Uint32(trailer), crc32.Checksum(body, castagnoli); want != got {
+		return nil, fmt.Errorf("collect: snapshot checksum mismatch (corrupt payload): got 0x%08x want 0x%08x", got, want)
+	}
+	r := bytes.NewReader(body)
 	var hdr struct {
 		Magic   uint32
 		Version uint8

@@ -1,6 +1,7 @@
 package collect
 
 import (
+	"bytes"
 	"testing"
 
 	"github.com/fcmsketch/fcm/internal/core"
@@ -39,6 +40,73 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		}
 		if again.K != snap.K || again.Trees != snap.Trees || again.W1 != snap.W1 {
 			t.Fatal("snapshot geometry changed across round trip")
+		}
+	})
+}
+
+// frame builds one length-prefixed frame around payload.
+func frame(payload []byte) []byte {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzWireFrame fuzzes the framed wire protocol end-to-end as the client
+// consumes it: readFrame over a raw byte stream, status parsing, then
+// snapshot decoding. None of the layers may panic, and a lying length
+// prefix must not translate into a proportional allocation (readFrame
+// grows its buffer chunk-by-chunk as bytes actually arrive).
+//
+// The seed corpus is the regression set for the fault classes the chaos
+// harness injects: truncated frames, oversized length prefixes, length
+// prefixes past the stream end, corrupt status bytes, and bit-flipped
+// snapshot payloads (which the CRC-32C trailer must reject).
+func FuzzWireFrame(f *testing.F) {
+	s, err := core.New(core.Config{K: 2, Trees: 1, LeafWidth: 8, Widths: []int{4, 8}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s.Update([]byte{9, 9, 9, 9}, 123)
+	encoded, err := TakeSnapshot(s).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	good := frame(append([]byte{statusOK}, encoded...))
+
+	f.Add(good)                                        // well-formed response
+	f.Add(good[:6])                                    // truncated mid-frame
+	f.Add(good[:4])                                    // header only
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})     // length prefix over maxFrame
+	f.Add([]byte{0x0f, 0xff, 0xff, 0xff, 0, 0})        // huge-but-legal prefix, no body
+	f.Add(frame(nil))                                  // empty response payload
+	f.Add(frame([]byte{0x07, 1, 2, 3}))                // corrupt status byte
+	f.Add(frame(append([]byte{statusErr}, "boom"...))) // server error
+	corrupt := append([]byte{}, good...)
+	corrupt[len(corrupt)/2] ^= 0x10 // bit flip mid-snapshot: CRC must catch
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		fr, err := readFrame(bytes.NewReader(stream))
+		if err != nil {
+			return
+		}
+		payload, err := parseResponse(fr)
+		if err != nil {
+			return
+		}
+		snap, err := DecodeSnapshot(payload)
+		if err != nil {
+			return
+		}
+		// Anything that survived all three layers must round-trip.
+		re, err := snap.Encode()
+		if err != nil {
+			t.Fatalf("decoded snapshot failed to re-encode: %v", err)
+		}
+		if _, err := DecodeSnapshot(re); err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
 		}
 	})
 }

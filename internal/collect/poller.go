@@ -1,25 +1,79 @@
 package collect
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 )
 
+// State is the poller's health, derived from consecutive collection
+// failures. Transitions are Healthy → Degraded → Down as failures
+// accumulate and straight back to Healthy on the first success.
+type State int32
+
+const (
+	// Healthy: the last collection succeeded.
+	Healthy State = iota
+	// Degraded: at least DegradedAfter consecutive failures; windows are
+	// being skipped but the switch is expected back.
+	Degraded
+	// Down: at least DownAfter consecutive failures; the switch should
+	// be treated as unreachable.
+	Down
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// PollerStats describe a poller's progress and health.
+type PollerStats struct {
+	// Collected counts delivered snapshots.
+	Collected uint64
+	// Failed counts collection attempts that delivered nothing.
+	Failed uint64
+	// SkippedWindows counts scheduled collections that produced no
+	// snapshot; with Reset enabled these are windows whose traffic stayed
+	// in the registers and was folded into a later snapshot, never lost
+	// silently.
+	SkippedWindows uint64
+	// ConsecutiveFailures is the current failure streak (0 when healthy).
+	ConsecutiveFailures int
+	// State is the current health state.
+	State State
+}
+
 // Poller periodically collects snapshots from a switch — the "periodically
 // collecting FCM-Sketch from the data plane" loop of §4.4. Each interval
 // it reads the registers, optionally resets them (window rotation), and
-// hands the snapshot to the callback.
+// hands the snapshot to the callback. The loop is context-driven: Stop
+// cancels an in-flight collection (returning within one I/O deadline, not
+// one interval), failures are tracked into a health state, and skipped
+// windows are reported so rotation accounting stays correct.
 type Poller struct {
-	addr     string
-	interval time.Duration
-	reset    bool
-	onSnap   func(*Snapshot)
-	onErr    func(error)
+	cfg    PollerConfig
+	client *Client
 
 	mu      sync.Mutex
-	stop    chan struct{}
+	cancel  context.CancelFunc
 	stopped chan struct{}
+
+	// Collection-loop state; written only by the loop goroutine, read
+	// via Stats under statMu.
+	statMu  sync.Mutex
+	stats   PollerStats
+	pending int // failures since the last delivered snapshot
 }
 
 // PollerConfig configures a Poller.
@@ -28,13 +82,34 @@ type PollerConfig struct {
 	Addr string
 	// Interval is the collection period.
 	Interval time.Duration
+	// Timeout bounds each read/write within one collection (default:
+	// Interval). A black-holed switch costs one Timeout per attempt, and
+	// Stop never waits longer than the remainder of one.
+	Timeout time.Duration
+	// Retries is how many extra in-collect attempts the snapshot read
+	// gets (default 0: the next interval is the retry).
+	Retries int
 	// Reset rotates the window after each collection.
 	Reset bool
 	// OnSnapshot receives every collected snapshot (required).
 	OnSnapshot func(*Snapshot)
+	// OnWindow, if set, additionally receives each snapshot with the
+	// number of scheduled collections that were skipped since the last
+	// delivery — 0 on schedule, n when the snapshot folds n missed
+	// windows' traffic (Reset mode) or is simply n polls late.
+	OnWindow func(snap *Snapshot, skipped int)
 	// OnError receives transient collection errors; nil ignores them
 	// (the poller keeps trying either way).
 	OnError func(error)
+	// OnStateChange observes health transitions. Called from the
+	// collection goroutine, never concurrently.
+	OnStateChange func(from, to State)
+	// DegradedAfter and DownAfter are the consecutive-failure thresholds
+	// for Degraded and Down (defaults 1 and 3).
+	DegradedAfter int
+	DownAfter     int
+	// Dial overrides the client transport (e.g. fault injection).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 // NewPoller validates the configuration and returns an unstarted Poller.
@@ -45,16 +120,29 @@ func NewPoller(cfg PollerConfig) (*Poller, error) {
 	if cfg.Interval <= 0 {
 		return nil, fmt.Errorf("collect: poller interval must be positive, got %v", cfg.Interval)
 	}
-	if cfg.OnSnapshot == nil {
-		return nil, fmt.Errorf("collect: poller needs an OnSnapshot callback")
+	if cfg.OnSnapshot == nil && cfg.OnWindow == nil {
+		return nil, fmt.Errorf("collect: poller needs an OnSnapshot or OnWindow callback")
 	}
-	return &Poller{
-		addr:     cfg.Addr,
-		interval: cfg.Interval,
-		reset:    cfg.Reset,
-		onSnap:   cfg.OnSnapshot,
-		onErr:    cfg.OnError,
-	}, nil
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = cfg.Interval
+	}
+	if cfg.DegradedAfter <= 0 {
+		cfg.DegradedAfter = 1
+	}
+	if cfg.DownAfter <= cfg.DegradedAfter {
+		cfg.DownAfter = cfg.DegradedAfter + 2
+	}
+	client, err := NewClient(ClientConfig{
+		Addr:        cfg.Addr,
+		DialTimeout: cfg.Timeout,
+		IOTimeout:   cfg.Timeout,
+		MaxRetries:  cfg.Retries,
+		Dial:        cfg.Dial,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Poller{cfg: cfg, client: client}, nil
 }
 
 // Start launches the collection loop. It is an error to start a running
@@ -62,62 +150,132 @@ func NewPoller(cfg PollerConfig) (*Poller, error) {
 func (p *Poller) Start() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.stop != nil {
+	if p.cancel != nil {
 		return fmt.Errorf("collect: poller already running")
 	}
-	p.stop = make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	p.cancel = cancel
 	p.stopped = make(chan struct{})
-	go p.loop(p.stop, p.stopped)
+	go p.loop(ctx, p.stopped)
 	return nil
 }
 
-// Stop halts the loop and waits for it to finish. Stopping a stopped
-// poller is a no-op.
+// Stop halts the loop and waits for it to finish. An in-flight collection
+// is interrupted (its connection deadline is yanked), so Stop returns
+// within one I/O operation even against a black-holed switch. Stopping a
+// stopped poller is a no-op.
 func (p *Poller) Stop() {
 	p.mu.Lock()
-	stop, stopped := p.stop, p.stopped
-	p.stop, p.stopped = nil, nil
+	cancel, stopped := p.cancel, p.stopped
+	p.cancel, p.stopped = nil, nil
 	p.mu.Unlock()
-	if stop == nil {
+	if cancel == nil {
 		return
 	}
-	close(stop)
+	cancel()
 	<-stopped
 }
 
-// loop runs until stop closes.
-func (p *Poller) loop(stop <-chan struct{}, stopped chan<- struct{}) {
+// Stats returns a consistent copy of the poller's counters and health.
+func (p *Poller) Stats() PollerStats {
+	p.statMu.Lock()
+	defer p.statMu.Unlock()
+	return p.stats
+}
+
+// loop runs until ctx is canceled.
+func (p *Poller) loop(ctx context.Context, stopped chan<- struct{}) {
 	defer close(stopped)
-	ticker := time.NewTicker(p.interval)
+	defer p.client.Close() //nolint:errcheck // teardown
+	ticker := time.NewTicker(p.cfg.Interval)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-stop:
+		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			if err := p.collectOnce(); err != nil && p.onErr != nil {
-				p.onErr(err)
+			snap, err := p.collectOnce(ctx)
+			if ctx.Err() != nil {
+				return
 			}
+			if err != nil {
+				p.noteFailure(err)
+				continue
+			}
+			p.noteSuccess(snap)
 		}
 	}
 }
 
-// collectOnce dials, reads (and optionally resets) one snapshot.
-func (p *Poller) collectOnce() error {
-	cl, err := Dial(p.addr, p.interval)
+// collectOnce reads (and optionally resets) one snapshot over the reused
+// client connection.
+func (p *Poller) collectOnce(ctx context.Context) (*Snapshot, error) {
+	snap, err := p.client.ReadSketchContext(ctx)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer cl.Close()
-	snap, err := cl.ReadSketch()
-	if err != nil {
-		return err
-	}
-	if p.reset {
-		if err := cl.ResetSketch(); err != nil {
-			return err
+	if p.cfg.Reset {
+		if err := p.client.ResetSketchContext(ctx); err != nil {
+			// The snapshot is good but the rotation failed: deliver it
+			// anyway and let failure accounting flag the window — the
+			// next snapshot will fold this window's traffic again.
+			p.noteSuccess(snap)
+			return nil, fmt.Errorf("collect: window rotation failed after snapshot: %w", err)
 		}
 	}
-	p.onSnap(snap)
-	return nil
+	return snap, nil
+}
+
+// noteFailure updates failure accounting and health after a missed
+// collection.
+func (p *Poller) noteFailure(err error) {
+	p.statMu.Lock()
+	p.stats.Failed++
+	p.stats.SkippedWindows++
+	p.stats.ConsecutiveFailures++
+	p.pending++
+	from := p.stats.State
+	to := p.healthFor(p.stats.ConsecutiveFailures)
+	p.stats.State = to
+	p.statMu.Unlock()
+	if p.cfg.OnError != nil {
+		p.cfg.OnError(err)
+	}
+	if to != from && p.cfg.OnStateChange != nil {
+		p.cfg.OnStateChange(from, to)
+	}
+}
+
+// noteSuccess delivers a snapshot, reporting how many scheduled windows
+// were skipped since the previous delivery, and restores health.
+func (p *Poller) noteSuccess(snap *Snapshot) {
+	p.statMu.Lock()
+	p.stats.Collected++
+	p.stats.ConsecutiveFailures = 0
+	skipped := p.pending
+	p.pending = 0
+	from := p.stats.State
+	p.stats.State = Healthy
+	p.statMu.Unlock()
+	if p.cfg.OnSnapshot != nil {
+		p.cfg.OnSnapshot(snap)
+	}
+	if p.cfg.OnWindow != nil {
+		p.cfg.OnWindow(snap, skipped)
+	}
+	if from != Healthy && p.cfg.OnStateChange != nil {
+		p.cfg.OnStateChange(from, Healthy)
+	}
+}
+
+// healthFor maps a failure streak to a state.
+func (p *Poller) healthFor(consecutive int) State {
+	switch {
+	case consecutive >= p.cfg.DownAfter:
+		return Down
+	case consecutive >= p.cfg.DegradedAfter:
+		return Degraded
+	default:
+		return Healthy
+	}
 }

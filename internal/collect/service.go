@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/fcmsketch/fcm/internal/core"
@@ -27,6 +28,11 @@ const (
 	// maxFrame bounds a frame to keep a rogue peer from exhausting
 	// memory. Large sketches (tens of MB) still fit comfortably.
 	maxFrame = 256 << 20
+
+	// frameChunk is the allocation step while reading a frame body: a
+	// lying length prefix on a short stream costs at most one chunk, not
+	// the full claimed size.
+	frameChunk = 1 << 20
 )
 
 // Source is the data plane the server collects from. Implementations
@@ -43,31 +49,122 @@ type Source interface {
 	ResetSketch()
 }
 
+// ServerConfig bounds server-side resource use so a slow, stalled, or
+// malicious peer cannot pin a handler goroutine or exhaust descriptors.
+// Zero fields take the defaults below.
+type ServerConfig struct {
+	// ReadTimeout is the per-frame read deadline once a frame header has
+	// started arriving (default 10s).
+	ReadTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline (default 10s). A peer
+	// that stops draining its socket loses the connection instead of
+	// pinning the handler.
+	WriteTimeout time.Duration
+	// IdleTimeout is how long a connection may sit between requests
+	// before the server closes it (default 2m).
+	IdleTimeout time.Duration
+	// MaxConns caps concurrently served connections (default 64). Excess
+	// connections wait in the accept backlog until a slot frees.
+	MaxConns int
+}
+
+const (
+	defaultReadTimeout  = 10 * time.Second
+	defaultWriteTimeout = 10 * time.Second
+	defaultIdleTimeout  = 2 * time.Minute
+	defaultMaxConns     = 64
+)
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = defaultReadTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = defaultWriteTimeout
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = defaultIdleTimeout
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = defaultMaxConns
+	}
+	return c
+}
+
+// ServerStats are monotonic counters describing the server's health.
+type ServerStats struct {
+	// AcceptRetries counts accept-loop failures that triggered backoff.
+	AcceptRetries uint64
+	// Conns counts connections ever served.
+	Conns uint64
+	// Active is the number of connections being served right now.
+	Active int64
+}
+
 // Server exposes a data plane's sketch registers over TCP so a controller
 // can collect them in batch.
 type Server struct {
 	src    Source
+	cfg    ServerConfig
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
+	sem    chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	acceptRetries atomic.Uint64
+	totalConns    atomic.Uint64
+	activeConns   atomic.Int64
 }
 
 // NewServer starts serving the source on addr (use "127.0.0.1:0" for an
-// ephemeral test port). The source may keep receiving updates; every read
-// gets an independent copy-on-read snapshot.
+// ephemeral test port) with default timeouts and connection cap. The
+// source may keep receiving updates; every read gets an independent
+// copy-on-read snapshot.
 func NewServer(addr string, src Source) (*Server, error) {
+	return NewServerConfig(addr, src, ServerConfig{})
+}
+
+// NewServerConfig is NewServer with explicit resource bounds.
+func NewServerConfig(addr string, src Source, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("collect: listen: %w", err)
 	}
-	s := &Server{src: src, ln: ln, closed: make(chan struct{})}
+	return Serve(ln, src, cfg), nil
+}
+
+// Serve runs a collection server on an existing listener — the hook for
+// wrapping the accept path (e.g. with faultnet's chaos listener). The
+// server owns the listener and closes it on Close.
+func Serve(ln net.Listener, src Source, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		src:    src,
+		cfg:    cfg,
+		ln:     ln,
+		closed: make(chan struct{}),
+		sem:    make(chan struct{}, cfg.MaxConns),
+		conns:  make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		AcceptRetries: s.acceptRetries.Load(),
+		Conns:         s.totalConns.Load(),
+		Active:        s.activeConns.Load(),
+	}
+}
 
 // LockedSketch adapts a single-writer sketch into a Source: the writer
 // wraps updates in Lock/Unlock and the snapshot copy briefly takes the
@@ -110,45 +207,105 @@ func (l *LockedSketch) ResetSketch() {
 	l.mu.Unlock()
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener, tears down in-flight connections, and waits
+// for their handlers. A stalled peer cannot delay shutdown past one
+// in-flight operation.
 func (s *Server) Close() error {
 	close(s.closed)
 	err := s.ln.Close()
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close() //nolint:errcheck // teardown
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	return err
 }
 
+// acceptBackoff is the capped exponential accept-failure backoff: 5ms
+// doubling to 1s. Persistent failures (fd exhaustion, interface flap)
+// poll at 1Hz instead of busy-spinning; a single transient error costs
+// 5ms.
+func acceptBackoff(consecutive int) time.Duration {
+	const (
+		base = 5 * time.Millisecond
+		max  = time.Second
+	)
+	d := base << uint(consecutive-1)
+	if consecutive > 8 || d > max {
+		return max
+	}
+	return d
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	failures := 0
 	for {
+		// Connection cap: hold a slot before accepting, so excess peers
+		// queue in the kernel backlog instead of spawning handlers.
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.closed:
+			return
+		}
 		conn, err := s.ln.Accept()
 		if err != nil {
+			<-s.sem
+			// Permanent: the listener is gone (Close, or the socket
+			// itself died under us).
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
 			select {
 			case <-s.closed:
 				return
 			default:
-				// Transient accept failure: keep serving.
-				continue
 			}
+			// Transient (e.g. EMFILE, ECONNABORTED): back off instead of
+			// busy-spinning, and stay responsive to Close.
+			failures++
+			s.acceptRetries.Add(1)
+			t := time.NewTimer(acceptBackoff(failures))
+			select {
+			case <-t.C:
+			case <-s.closed:
+				t.Stop()
+				return
+			}
+			continue
 		}
+		failures = 0
+		s.totalConns.Add(1)
+		s.activeConns.Add(1)
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+				s.activeConns.Add(-1)
+				<-s.sem
+			}()
 			defer conn.Close()
 			s.serve(conn)
 		}()
 	}
 }
 
-// serve handles one connection until EOF or error.
+// serve handles one connection until EOF, error, or deadline.
 func (s *Server) serve(conn net.Conn) {
 	for {
-		req, err := readFrame(conn)
+		req, err := readFrameServer(conn, s.cfg.IdleTimeout, s.cfg.ReadTimeout)
 		if err != nil {
 			return
 		}
 		if len(req) < 1 {
-			writeError(conn, "empty request") //nolint:errcheck // connection teardown follows
+			s.writeError(conn, "empty request") //nolint:errcheck // connection teardown follows
 			return
 		}
 		switch req[0] {
@@ -158,75 +315,44 @@ func (s *Server) serve(conn net.Conn) {
 			snap := TakeSnapshot(s.src.SnapshotSketch())
 			data, err := snap.Encode()
 			if err != nil {
-				writeError(conn, err.Error()) //nolint:errcheck
+				s.writeError(conn, err.Error()) //nolint:errcheck
 				return
 			}
-			if err := writeFrame(conn, append([]byte{statusOK}, data...)); err != nil {
+			if err := s.writeFrameDeadline(conn, append([]byte{statusOK}, data...)); err != nil {
 				return
 			}
 		case OpResetSketch:
 			s.src.ResetSketch()
-			if err := writeFrame(conn, []byte{statusOK}); err != nil {
+			if err := s.writeFrameDeadline(conn, []byte{statusOK}); err != nil {
 				return
 			}
 		default:
-			writeError(conn, fmt.Sprintf("unknown opcode %d", req[0])) //nolint:errcheck
+			s.writeError(conn, fmt.Sprintf("unknown opcode %d", req[0])) //nolint:errcheck
 			return
 		}
 	}
 }
 
-func writeError(conn net.Conn, msg string) error {
-	return writeFrame(conn, append([]byte{statusErr}, msg...))
+// writeFrameDeadline writes one frame under the server's write deadline.
+func (s *Server) writeFrameDeadline(conn net.Conn, payload []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck // enforced by the write
+	return writeFrame(conn, payload)
 }
 
-// Client pulls snapshots from a Server.
-type Client struct {
-	conn net.Conn
+func (s *Server) writeError(conn net.Conn, msg string) error {
+	return s.writeFrameDeadline(conn, append([]byte{statusErr}, msg...))
 }
 
-// Dial connects to a collection server with the given timeout.
-func Dial(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("collect: dial %s: %w", addr, err)
-	}
-	return &Client{conn: conn}, nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// ReadSketch fetches a register snapshot.
-func (c *Client) ReadSketch() (*Snapshot, error) {
-	payload, err := c.roundTrip([]byte{OpReadSketch})
-	if err != nil {
+// readFrameServer reads one frame with two deadlines: idle while waiting
+// for the header (between requests) and read once a frame is in flight.
+func readFrameServer(conn net.Conn, idle, read time.Duration) ([]byte, error) {
+	conn.SetReadDeadline(time.Now().Add(idle)) //nolint:errcheck // enforced by the read
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 		return nil, err
 	}
-	return DecodeSnapshot(payload)
-}
-
-// ResetSketch clears the data plane's registers (window rotation).
-func (c *Client) ResetSketch() error {
-	_, err := c.roundTrip([]byte{OpResetSketch})
-	return err
-}
-
-func (c *Client) roundTrip(req []byte) ([]byte, error) {
-	if err := writeFrame(c.conn, req); err != nil {
-		return nil, fmt.Errorf("collect: sending request: %w", err)
-	}
-	resp, err := readFrame(c.conn)
-	if err != nil {
-		return nil, fmt.Errorf("collect: reading response: %w", err)
-	}
-	if len(resp) < 1 {
-		return nil, errors.New("collect: empty response")
-	}
-	if resp[0] == statusErr {
-		return nil, fmt.Errorf("collect: server error: %s", resp[1:])
-	}
-	return resp[1:], nil
+	conn.SetReadDeadline(time.Now().Add(read)) //nolint:errcheck
+	return readFrameBody(conn, binary.BigEndian.Uint32(hdr[:]))
 }
 
 // writeFrame sends one length-prefixed frame.
@@ -246,13 +372,32 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	return readFrameBody(r, binary.BigEndian.Uint32(hdr[:]))
+}
+
+// readFrameBody reads an n-byte frame payload in bounded chunks, so an
+// oversized length prefix costs memory proportional to the bytes that
+// actually arrive, not to the number the peer claims.
+func readFrameBody(r io.Reader, n uint32) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("collect: frame of %dB exceeds limit", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, err
+	want := int(n)
+	chunk := want
+	if chunk > frameChunk {
+		chunk = frameChunk
+	}
+	payload := make([]byte, 0, chunk)
+	for len(payload) < want {
+		m := want - len(payload)
+		if m > frameChunk {
+			m = frameChunk
+		}
+		off := len(payload)
+		payload = append(payload, make([]byte, m)...)
+		if _, err := io.ReadFull(r, payload[off:]); err != nil {
+			return nil, err
+		}
 	}
 	return payload, nil
 }

@@ -1,0 +1,498 @@
+// Package faultnet is a seeded, deterministic network-fault injector for
+// testing the collection plane's degradation paths. It wraps a
+// net.Listener so that every accepted net.Conn executes a "fault plan"
+// drawn from a seeded PRNG: connection refusal, mid-frame resets after a
+// byte budget, latency injection, partial (short) writes, byte corruption,
+// and black-holing (reads stall until the deadline, writes vanish).
+//
+// Determinism: plans are drawn in accept order from a single seeded
+// source, and each connection gets its own child PRNG derived from the
+// seed and its accept index, so per-operation draws (latency, corruption
+// positions) do not depend on goroutine interleaving. Two runs with the
+// same seed and the same accept order inject the same faults — the
+// property the chaos tests rely on, including under -race.
+//
+// Healing: SetConfig (or Heal) atomically replaces the fault program.
+// Connections accepted afterwards get clean plans; connections accepted
+// under the old program keep their faults until closed, which mirrors how
+// a real outage drains.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config is a fault program: per-class probabilities plus shape
+// parameters. The zero value injects nothing (a transparent wrapper).
+type Config struct {
+	// Seed seeds the injector's PRNG. Plans drawn from equal seeds over
+	// equal accept sequences are identical.
+	Seed int64
+
+	// RefuseProb is the probability an accepted connection is torn down
+	// immediately — the peer observes a reset on first use, as with a
+	// refused or instantly dropped connection.
+	RefuseProb float64
+
+	// BlackholeProb is the probability a connection black-holes: reads
+	// block until the read deadline (or close) and writes report success
+	// but deliver nothing — a silently partitioned peer.
+	BlackholeProb float64
+
+	// ResetProb is the probability a connection is reset mid-stream:
+	// after ResetAfter bytes of combined traffic the next operation
+	// performs a partial write (if writing) and then fails, and the
+	// underlying connection is torn down — a mid-frame RST.
+	ResetProb float64
+	// ResetAfterMax bounds the byte budget before an injected reset;
+	// the budget is drawn uniformly from [1, ResetAfterMax].
+	// Defaults to 64 — small enough to hit mid-frame on real traffic.
+	ResetAfterMax int
+
+	// CorruptProb is the probability a connection corrupts traffic: each
+	// Write flips one bit at a PRNG-chosen offset before forwarding.
+	CorruptProb float64
+
+	// MaxLatency, when positive, sleeps a uniform [0, MaxLatency) before
+	// every read and write on every connection.
+	MaxLatency time.Duration
+
+	// MaxWriteChunk, when positive, caps how many bytes a single
+	// underlying write forwards; larger writes are forwarded in chunks
+	// (short writes at the syscall boundary, exercising any caller that
+	// assumes one Write is one packet).
+	MaxWriteChunk int
+}
+
+// Stats counts injected faults since the injector was created.
+type Stats struct {
+	Accepted  uint64 // connections wrapped
+	Refused   uint64 // plans with immediate teardown
+	Blackhole uint64 // plans with black-holing
+	Resets    uint64 // connections reset mid-stream
+	Corrupted uint64 // writes that had a bit flipped
+	Delayed   uint64 // operations that slept injected latency
+}
+
+// Injector draws fault plans for accepted connections. Safe for
+// concurrent use; draws are serialized so accept order alone determines
+// the plan sequence.
+type Injector struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	cfg  Config
+	next int64 // accept index, feeds per-conn child PRNGs
+
+	liveMu sync.Mutex
+	live   map[*Conn]struct{}
+
+	accepted  atomic.Uint64
+	refused   atomic.Uint64
+	blackhole atomic.Uint64
+	resets    atomic.Uint64
+	corrupted atomic.Uint64
+	delayed   atomic.Uint64
+}
+
+// New builds an injector executing the given fault program.
+func New(cfg Config) *Injector {
+	if cfg.ResetAfterMax <= 0 {
+		cfg.ResetAfterMax = 64
+	}
+	return &Injector{
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		cfg:  cfg,
+		live: make(map[*Conn]struct{}),
+	}
+}
+
+// SetConfig atomically replaces the fault program. The PRNG keeps its
+// stream, so healing and re-breaking stay deterministic for a fixed
+// accept sequence.
+func (inj *Injector) SetConfig(cfg Config) {
+	if cfg.ResetAfterMax <= 0 {
+		cfg.ResetAfterMax = 64
+	}
+	inj.mu.Lock()
+	inj.cfg = cfg
+	inj.mu.Unlock()
+}
+
+// Heal drops every fault class: connections accepted from now on are
+// clean. In-flight connections keep their plans until closed.
+func (inj *Injector) Heal() { inj.SetConfig(Config{}) }
+
+// Cut resets every live wrapped connection — the cable-pull primitive: a
+// total outage is Cut plus a refuse-all SetConfig. It returns how many
+// connections were cut. Black-holed reads waiting inside a cut connection
+// fail immediately.
+func (inj *Injector) Cut() int {
+	inj.liveMu.Lock()
+	conns := make([]*Conn, 0, len(inj.live))
+	for c := range inj.live {
+		conns = append(conns, c)
+	}
+	inj.liveMu.Unlock()
+	for _, c := range conns {
+		c.trip()
+	}
+	return len(conns)
+}
+
+func (inj *Injector) track(c *Conn) {
+	inj.liveMu.Lock()
+	inj.live[c] = struct{}{}
+	inj.liveMu.Unlock()
+}
+
+func (inj *Injector) untrack(c *Conn) {
+	inj.liveMu.Lock()
+	delete(inj.live, c)
+	inj.liveMu.Unlock()
+}
+
+// Stats returns fault counters.
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		Accepted:  inj.accepted.Load(),
+		Refused:   inj.refused.Load(),
+		Blackhole: inj.blackhole.Load(),
+		Resets:    inj.resets.Load(),
+		Corrupted: inj.corrupted.Load(),
+		Delayed:   inj.delayed.Load(),
+	}
+}
+
+// plan is one connection's drawn faults.
+type plan struct {
+	refuse     bool
+	blackhole  bool
+	resetAfter int // bytes of combined traffic before a reset; 0 = never
+	corrupt    bool
+	latency    time.Duration // max per-op latency; 0 = none
+	writeChunk int           // max bytes per underlying write; 0 = unlimited
+	rng        *rand.Rand    // per-conn child PRNG for per-op draws
+}
+
+// drawPlan serializes plan draws: one connection, one draw sequence.
+func (inj *Injector) drawPlan() plan {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	cfg := inj.cfg
+	idx := inj.next
+	inj.next++
+	p := plan{
+		latency:    cfg.MaxLatency,
+		writeChunk: cfg.MaxWriteChunk,
+		// Child PRNG from seed and accept index: per-op draws are
+		// independent of scheduler interleaving across connections.
+		rng: rand.New(rand.NewSource(cfg.Seed ^ (idx+1)*0x5851f42d4c957f2d)),
+	}
+	switch {
+	case inj.rng.Float64() < cfg.RefuseProb:
+		p.refuse = true
+	case inj.rng.Float64() < cfg.BlackholeProb:
+		p.blackhole = true
+	case inj.rng.Float64() < cfg.ResetProb:
+		p.resetAfter = 1 + inj.rng.Intn(cfg.ResetAfterMax)
+	}
+	if inj.rng.Float64() < cfg.CorruptProb {
+		p.corrupt = true
+	}
+	inj.accepted.Add(1)
+	if p.refuse {
+		inj.refused.Add(1)
+	}
+	if p.blackhole {
+		inj.blackhole.Add(1)
+	}
+	return p
+}
+
+// Listener wraps ln so every accepted connection executes a plan drawn
+// from inj. Close and Addr pass through.
+func Listen(ln net.Listener, inj *Injector) net.Listener {
+	return &listener{Listener: ln, inj: inj}
+}
+
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.WrapConn(c), nil
+}
+
+// WrapConn applies a freshly drawn plan to an existing connection —
+// usable on the dialing side too, for client-path fault injection.
+func (inj *Injector) WrapConn(c net.Conn) net.Conn {
+	p := inj.drawPlan()
+	fc := &Conn{
+		conn: c, plan: p, inj: inj,
+		closed:    make(chan struct{}),
+		tripped:   make(chan struct{}),
+		dlChanged: make(chan struct{}),
+	}
+	if p.refuse {
+		// Immediate teardown: the peer sees a reset on first use.
+		abortConn(c)
+		c.Close() //nolint:errcheck // teardown is the fault
+		fc.broken.Store(true)
+	} else {
+		inj.track(fc)
+	}
+	return fc
+}
+
+// abortConn arranges for close to send RST instead of FIN where the
+// platform supports it, so "refusal" looks like a hard failure rather
+// than a clean EOF.
+func abortConn(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0) //nolint:errcheck // best effort
+	}
+}
+
+// errInjectedReset is what a reset connection's operations return.
+type injectedError struct{ op string }
+
+func (e injectedError) Error() string   { return "faultnet: injected connection reset during " + e.op }
+func (e injectedError) Timeout() bool   { return false }
+func (e injectedError) Temporary() bool { return false }
+
+// Conn is a fault-wrapped connection.
+type Conn struct {
+	conn net.Conn
+	plan plan
+	inj  *Injector
+
+	// opMu serializes per-op PRNG draws and the reset byte budget. The
+	// collection protocol is strictly request/response per connection, so
+	// this adds no real contention.
+	opMu sync.Mutex
+	used int // bytes counted against plan.resetAfter
+
+	broken   atomic.Bool // reset tripped (or refused): all ops fail
+	tripOnce sync.Once
+	tripped  chan struct{} // closed by trip, wakes black-holed reads
+
+	// Deadlines are tracked locally so black-holed reads can honor them
+	// without touching the (never-reading) underlying connection.
+	dlMu      sync.Mutex
+	readDL    time.Time
+	dlChanged chan struct{}
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// sleepLatency injects a deterministic per-op delay, bounded so a fault
+// program can never stall a test longer than MaxLatency.
+func (c *Conn) sleepLatency() {
+	if c.plan.latency <= 0 {
+		return
+	}
+	c.opMu.Lock()
+	d := time.Duration(c.plan.rng.Int63n(int64(c.plan.latency)))
+	c.opMu.Unlock()
+	if d <= 0 {
+		return
+	}
+	c.inj.delayed.Add(1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.closed:
+	}
+}
+
+// chargeBytes debits n bytes from the reset budget. It returns the number
+// of bytes that may still be transferred and whether the reset fires now.
+func (c *Conn) chargeBytes(n int) (allowed int, reset bool) {
+	if c.plan.resetAfter == 0 {
+		return n, false
+	}
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	left := c.plan.resetAfter - c.used
+	if left <= 0 {
+		return 0, true
+	}
+	if n >= left {
+		c.used = c.plan.resetAfter
+		return left, true
+	}
+	c.used += n
+	return n, false
+}
+
+func (c *Conn) trip() {
+	if c.broken.CompareAndSwap(false, true) {
+		c.inj.resets.Add(1)
+		c.inj.untrack(c)
+		c.tripOnce.Do(func() { close(c.tripped) })
+		abortConn(c.conn)
+		c.conn.Close() //nolint:errcheck // teardown is the fault
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.broken.Load() {
+		return 0, injectedError{"read"}
+	}
+	c.sleepLatency()
+	if c.plan.blackhole {
+		return 0, c.waitReadDeadline()
+	}
+	if _, reset := c.chargeBytes(0); reset {
+		c.trip()
+		return 0, injectedError{"read"}
+	}
+	n, err := c.conn.Read(p)
+	if n > 0 {
+		if allowed, reset := c.chargeBytes(n); reset {
+			c.trip()
+			return allowed, injectedError{"read"}
+		}
+	}
+	return n, err
+}
+
+// waitReadDeadline blocks a black-holed read until the deadline passes,
+// the connection closes, or the deadline is moved.
+func (c *Conn) waitReadDeadline() error {
+	for {
+		c.dlMu.Lock()
+		dl := c.readDL
+		changed := c.dlChanged
+		c.dlMu.Unlock()
+
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if !dl.IsZero() {
+			d := time.Until(dl)
+			if d <= 0 {
+				return os.ErrDeadlineExceeded
+			}
+			timer = time.NewTimer(d)
+			timeout = timer.C
+		}
+		select {
+		case <-c.closed:
+			if timer != nil {
+				timer.Stop()
+			}
+			return net.ErrClosed
+		case <-c.tripped:
+			if timer != nil {
+				timer.Stop()
+			}
+			return injectedError{"read"}
+		case <-changed:
+			if timer != nil {
+				timer.Stop()
+			}
+			continue
+		case <-timeout:
+			return os.ErrDeadlineExceeded
+		}
+	}
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.broken.Load() {
+		return 0, injectedError{"write"}
+	}
+	c.sleepLatency()
+	if c.plan.blackhole {
+		// Black hole: the write "succeeds" and the bytes vanish.
+		return len(p), nil
+	}
+	buf := p
+	if c.plan.corrupt && len(buf) > 0 {
+		c.opMu.Lock()
+		pos := c.plan.rng.Intn(len(buf))
+		bit := byte(1) << c.plan.rng.Intn(8)
+		c.opMu.Unlock()
+		mutated := make([]byte, len(buf))
+		copy(mutated, buf)
+		mutated[pos] ^= bit
+		buf = mutated
+		c.inj.corrupted.Add(1)
+	}
+	allowed, reset := c.chargeBytes(len(buf))
+	written := 0
+	for written < allowed {
+		chunk := allowed - written
+		if c.plan.writeChunk > 0 && chunk > c.plan.writeChunk {
+			chunk = c.plan.writeChunk
+		}
+		n, err := c.conn.Write(buf[written : written+chunk])
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	if reset {
+		// Partial write then hard failure: a mid-frame RST.
+		c.trip()
+		return written, injectedError{"write"}
+	}
+	return written, nil
+}
+
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		c.inj.untrack(c)
+		close(c.closed)
+		err = c.conn.Close()
+	})
+	return err
+}
+
+func (c *Conn) LocalAddr() net.Addr  { return c.conn.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
+
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.noteReadDeadline(t)
+	return c.conn.SetDeadline(t)
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.noteReadDeadline(t)
+	return c.conn.SetReadDeadline(t)
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	return c.conn.SetWriteDeadline(t)
+}
+
+// noteReadDeadline records the deadline for black-holed reads and wakes
+// any read currently waiting on the old one.
+func (c *Conn) noteReadDeadline(t time.Time) {
+	c.dlMu.Lock()
+	c.readDL = t
+	close(c.dlChanged)
+	c.dlChanged = make(chan struct{})
+	c.dlMu.Unlock()
+}
+
+// String describes the connection's plan, for test logs.
+func (c *Conn) String() string {
+	p := c.plan
+	return fmt.Sprintf("faultnet.Conn{refuse=%v blackhole=%v resetAfter=%d corrupt=%v latency=%v chunk=%d}",
+		p.refuse, p.blackhole, p.resetAfter, p.corrupt, p.latency, p.writeChunk)
+}

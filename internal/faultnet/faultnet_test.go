@@ -1,0 +1,315 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// acceptPlans dials n connections through a wrapped loopback listener and
+// returns each accepted connection's plan description, in accept order.
+func acceptPlans(t *testing.T, inj *Injector, n int) []string {
+	t.Helper()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := Listen(raw, inj)
+	defer ln.Close()
+
+	plans := make([]string, 0, n)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				t.Errorf("accept %d: %v", i, err)
+				return
+			}
+			plans = append(plans, c.(*Conn).String())
+			c.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		// A refused plan can RST the handshake before Dial returns; the
+		// server still accepted (and drew the plan), so a dial error is
+		// just the fault arriving early.
+		if c, err := net.Dial("tcp", ln.Addr().String()); err == nil {
+			c.Close()
+		}
+	}
+	<-done
+	return plans
+}
+
+func TestDeterministicPlans(t *testing.T) {
+	cfg := Config{
+		Seed:          7,
+		RefuseProb:    0.2,
+		BlackholeProb: 0.2,
+		ResetProb:     0.3,
+		CorruptProb:   0.25,
+		MaxLatency:    3 * time.Millisecond,
+		MaxWriteChunk: 5,
+	}
+	a := acceptPlans(t, New(cfg), 32)
+	b := acceptPlans(t, New(cfg), 32)
+	if len(a) != len(b) {
+		t.Fatalf("plan counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan %d differs under equal seed:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	// A different seed must draw a different sequence.
+	cfg.Seed = 8
+	c := acceptPlans(t, New(cfg), 32)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds drew identical plan sequences")
+	}
+}
+
+// pipePair returns a fault-wrapped server side and the raw client side.
+func pipePair(inj *Injector) (wrapped net.Conn, peer net.Conn) {
+	a, b := net.Pipe()
+	return inj.WrapConn(a), b
+}
+
+func TestTransparentWhenZero(t *testing.T) {
+	w, peer := pipePair(New(Config{Seed: 1}))
+	defer w.Close()
+	defer peer.Close()
+	msg := []byte("hello fault-free world")
+	go func() {
+		peer.Write(msg) //nolint:errcheck
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(w, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("payload mangled: %q", got)
+	}
+}
+
+func TestBlackholeHonorsReadDeadline(t *testing.T) {
+	inj := New(Config{Seed: 1, BlackholeProb: 1})
+	w, peer := pipePair(inj)
+	defer w.Close()
+	defer peer.Close()
+
+	if err := w.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := w.Read(make([]byte, 8))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed read: got %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("deadline fired after %v", d)
+	}
+	// Writes into a black hole report success and deliver nothing.
+	if n, err := w.Write([]byte("vanishes")); err != nil || n != 8 {
+		t.Fatalf("blackholed write: n=%d err=%v", n, err)
+	}
+	if s := inj.Stats(); s.Blackhole != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestBlackholeWakesOnDeadlineMove(t *testing.T) {
+	w, peer := pipePair(New(Config{Seed: 1, BlackholeProb: 1}))
+	defer w.Close()
+	defer peer.Close()
+
+	// Start with no deadline, then move it while a read is in flight —
+	// the read must observe the new, earlier deadline.
+	errc := make(chan error, 1)
+	go func() {
+		_, err := w.Read(make([]byte, 1))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := w.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read ignored the moved deadline")
+	}
+}
+
+func TestResetMidStream(t *testing.T) {
+	inj := New(Config{Seed: 3, ResetProb: 1, ResetAfterMax: 1})
+	// ResetAfterMax 1 → budget is exactly 1 byte: the first write is
+	// partial (1 byte forwarded) and then fails.
+	w, peer := pipePair(inj)
+	defer w.Close()
+	defer peer.Close()
+
+	go io.Copy(io.Discard, peer) //nolint:errcheck
+	n, err := w.Write([]byte("0123456789"))
+	if err == nil {
+		t.Fatal("expected injected reset")
+	}
+	if n != 1 {
+		t.Fatalf("partial write forwarded %d bytes, want 1", n)
+	}
+	// The connection is dead for every subsequent operation.
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+	if _, err := w.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read after reset succeeded")
+	}
+	if s := inj.Stats(); s.Resets != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	inj := New(Config{Seed: 5, CorruptProb: 1})
+	w, peer := pipePair(inj)
+	defer w.Close()
+	defer peer.Close()
+
+	msg := bytes.Repeat([]byte{0xAA}, 64)
+	go func() {
+		w.Write(msg) //nolint:errcheck
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(peer, got); err != nil {
+		t.Fatal(err)
+	}
+	diffBits := 0
+	for i := range msg {
+		x := msg[i] ^ got[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("corruption flipped %d bits, want exactly 1", diffBits)
+	}
+	// The caller's buffer must not be mutated.
+	if !bytes.Equal(msg, bytes.Repeat([]byte{0xAA}, 64)) {
+		t.Fatal("corruption mutated the caller's buffer")
+	}
+	if s := inj.Stats(); s.Corrupted != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestShortWritesChunkButDeliverAll(t *testing.T) {
+	w, peer := pipePair(New(Config{Seed: 2, MaxWriteChunk: 3}))
+	defer w.Close()
+	defer peer.Close()
+
+	msg := []byte("0123456789abcdef")
+	go func() {
+		if n, err := w.Write(msg); err != nil || n != len(msg) {
+			t.Errorf("chunked write: n=%d err=%v", n, err)
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(peer, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("chunked payload mangled: %q", got)
+	}
+}
+
+func TestRefusedConnectionFailsFast(t *testing.T) {
+	inj := New(Config{Seed: 9, RefuseProb: 1})
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := Listen(raw, inj)
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// The server side is already dead; serving it is a no-op.
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Error("read on refused conn succeeded")
+		}
+		c.Close()
+	}()
+
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err == nil {
+		// Refusal may land as a reset on the first read, or (when the RST
+		// outruns the handshake) as a dial error — both are fail-fast.
+		defer c.Close()
+		c.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatal("expected refused connection to fail the peer's read")
+		}
+	}
+	if s := inj.Stats(); s.Refused != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestLatencyInjected(t *testing.T) {
+	inj := New(Config{Seed: 11, MaxLatency: 10 * time.Millisecond})
+	w, peer := pipePair(inj)
+	defer w.Close()
+	defer peer.Close()
+
+	go func() {
+		peer.Write(bytes.Repeat([]byte("x"), 32)) //nolint:errcheck
+	}()
+	if _, err := io.ReadFull(w, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if s := inj.Stats(); s.Delayed == 0 {
+		t.Fatalf("no latency injected: %+v", s)
+	}
+}
+
+func TestHealStopsNewFaults(t *testing.T) {
+	inj := New(Config{Seed: 13, RefuseProb: 1})
+	a, _ := net.Pipe()
+	first := inj.WrapConn(a)
+	if _, err := first.Write([]byte("x")); err == nil {
+		t.Fatal("pre-heal connection should be refused")
+	}
+	first.Close()
+
+	inj.Heal()
+	w, peer := pipePair(inj)
+	defer w.Close()
+	defer peer.Close()
+	go func() {
+		peer.Write([]byte("ok")) //nolint:errcheck
+	}()
+	got := make([]byte, 2)
+	if _, err := io.ReadFull(w, got); err != nil {
+		t.Fatalf("post-heal connection still faulty: %v", err)
+	}
+	if string(got) != "ok" {
+		t.Fatalf("payload %q", got)
+	}
+}
