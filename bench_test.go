@@ -17,6 +17,7 @@ import (
 
 	"github.com/fcmsketch/fcm"
 	"github.com/fcmsketch/fcm/internal/cmsketch"
+	"github.com/fcmsketch/fcm/internal/core"
 	"github.com/fcmsketch/fcm/internal/elastic"
 	"github.com/fcmsketch/fcm/internal/exp"
 	"github.com/fcmsketch/fcm/internal/trace"
@@ -183,6 +184,26 @@ func BenchmarkIngestFCM(b *testing.B) {
 	}
 	benchIngest(b, s)
 }
+
+// BenchmarkUninstrumentedUpdate / BenchmarkInstrumentedUpdate quantify the
+// telemetry plane's hot-path contract: attaching core.Stats (the atomic
+// counters behind fcm_sketch_updates_total and the promotion/saturation
+// series) must cost <=5% ingest throughput. Occupancy and cardinality
+// scans run at scrape time and are deliberately absent from this path.
+func benchTelemetry(b *testing.B, instrumented bool) {
+	b.Helper()
+	s, err := fcm.NewSketch(fcm.Config{MemoryBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if instrumented {
+		s.Core().SetStats(core.NewStats(s.Core().Depth()))
+	}
+	benchIngest(b, s)
+}
+
+func BenchmarkUninstrumentedUpdate(b *testing.B) { benchTelemetry(b, false) }
+func BenchmarkInstrumentedUpdate(b *testing.B)   { benchTelemetry(b, true) }
 
 func BenchmarkIngestFCMTopK(b *testing.B) {
 	s, err := fcm.NewTopK(fcm.TopKConfig{Config: fcm.Config{MemoryBytes: 1 << 20}})

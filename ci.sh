@@ -15,3 +15,43 @@ go test -race ./...
 go test -race -count=1 \
   -run 'Chaos|Blackhole|AcceptLoop|MaxConns|Idle|Skipped|Retries|StalledPeer|Stop' \
   ./internal/collect/ ./internal/faultnet/
+
+# Telemetry gate, part 1: the telemetry-plane suites race-enabled and
+# uncached — registry/export correctness, engine instrumentation, and the
+# poller health-cycle test that drives healthy->degraded->down->healthy
+# through faultnet and asserts transition counters and log records.
+go test -race -count=1 ./internal/telemetry/
+go test -race -count=1 -run 'Telemetry|Instrument' \
+  ./internal/engine/ ./internal/collect/
+
+# Telemetry gate, part 2: end-to-end smoke. Boot a switch with live
+# endpoints, scrape /metrics through fcmctl, and require the key series
+# of every subsystem to be present in the exposition.
+TMP=$(mktemp -d)
+SWITCH_PID=
+cleanup() {
+  [ -n "$SWITCH_PID" ] && kill "$SWITCH_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+go build -o "$TMP/fcmswitch" ./cmd/fcmswitch
+go build -o "$TMP/fcmctl" ./cmd/fcmctl
+"$TMP/fcmswitch" -packets 50000 -shards 2 -listen 127.0.0.1:0 \
+  -telemetry-addr 127.0.0.1:0 >"$TMP/switch.out" 2>"$TMP/switch.err" &
+SWITCH_PID=$!
+ADDR=
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^telemetry on //p' "$TMP/switch.out")
+  if [ -n "$ADDR" ]; then break; fi
+  sleep 0.2
+done
+[ -n "$ADDR" ]
+"$TMP/fcmctl" -metrics "$ADDR" >"$TMP/scrape.out"
+for series in fcm_build_info fcm_sketch_updates_total \
+    fcm_sketch_level_occupancy fcm_engine_shard_updates_total \
+    fcm_engine_shards fcm_collect_server_conns_total \
+    go_goroutines process_uptime_seconds; do
+  grep -q "^$series" "$TMP/scrape.out"
+done
+kill "$SWITCH_PID"
+SWITCH_PID=

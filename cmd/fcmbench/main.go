@@ -19,7 +19,9 @@ import (
 	"path/filepath"
 	"strings"
 
+	"github.com/fcmsketch/fcm/internal/em"
 	"github.com/fcmsketch/fcm/internal/exp"
+	"github.com/fcmsketch/fcm/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 		shards  = flag.Int("shards", 0, "max shard count for the shardedspeed sweep (0 = 8)")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		verbose = flag.Bool("v", false, "print progress while running")
+		debug   = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof while experiments run")
 	)
 	flag.Parse()
 
@@ -56,6 +59,23 @@ func main() {
 	}
 	if *verbose {
 		opts.Log = os.Stderr
+	}
+
+	// Live introspection while long experiment sweeps run: pprof for CPU
+	// profiles, /metrics for EM iteration counts and latency.
+	if *debug != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterProcessMetrics(reg)
+		telemetry.RegisterBuildInfo(reg, telemetry.Build())
+		opts.EMMetrics = em.NewMetrics(reg)
+		addr, shutdown, err := telemetry.Serve(*debug,
+			telemetry.NewMux(reg, "fcmbench", nil))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fcmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown() //nolint:errcheck // exiting anyway
+		fmt.Fprintf(os.Stderr, "debug endpoints on %s\n", addr)
 	}
 
 	var ids []string

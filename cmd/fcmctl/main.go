@@ -15,38 +15,69 @@
 //	fcmctl -connect 127.0.0.1:9401
 //	fcmctl -connect 127.0.0.1:9401 -iters 10 -reset
 //	fcmctl -connect 127.0.0.1:9401 -poll 5s -reset -retries 2
+//	fcmctl -metrics 127.0.0.1:9402
+//
+// With -metrics it scrapes a switch's telemetry endpoint instead of its
+// registers: the /healthz identity line followed by every metric series,
+// pretty-printed for humans (ci scripts grep the raw series names).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/fcmsketch/fcm"
 	"github.com/fcmsketch/fcm/internal/collect"
 	"github.com/fcmsketch/fcm/internal/em"
+	"github.com/fcmsketch/fcm/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr    = flag.String("connect", "127.0.0.1:9401", "fcmswitch collection address")
-		iters   = flag.Int("iters", 5, "EM iterations")
-		workers = flag.Int("workers", 0, "EM worker goroutines (0 = all cores)")
-		reset   = flag.Bool("reset", false, "reset the data plane after collecting (window rotation)")
-		head    = flag.Int("head", 10, "print the first N sizes of the estimated distribution")
-		dialTO  = flag.Duration("timeout", 5*time.Second, "connection dial timeout")
-		ioTO    = flag.Duration("io-timeout", 5*time.Second, "per-read/write deadline on the wire")
-		retries = flag.Int("retries", 2, "extra attempts for the register read (reconnect + backoff)")
-		poll    = flag.Duration("poll", 0, "collect repeatedly at this interval instead of once")
+		addr     = flag.String("connect", "127.0.0.1:9401", "fcmswitch collection address")
+		iters    = flag.Int("iters", 5, "EM iterations")
+		workers  = flag.Int("workers", 0, "EM worker goroutines (0 = all cores)")
+		reset    = flag.Bool("reset", false, "reset the data plane after collecting (window rotation)")
+		head     = flag.Int("head", 10, "print the first N sizes of the estimated distribution")
+		dialTO   = flag.Duration("timeout", 5*time.Second, "connection dial timeout")
+		ioTO     = flag.Duration("io-timeout", 5*time.Second, "per-read/write deadline on the wire")
+		retries  = flag.Int("retries", 2, "extra attempts for the register read (reconnect + backoff)")
+		poll     = flag.Duration("poll", 0, "collect repeatedly at this interval instead of once")
+		metrics  = flag.String("metrics", "", "scrape and pretty-print a telemetry endpoint (host:port) instead of collecting")
+		logLevel = flag.String("log-level", "warn", "log verbosity in -poll mode: debug | info | warn | error")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println("fcmctl " + telemetry.Build().String())
+		return
+	}
+	if *metrics != "" {
+		if err := scrapeMetrics(os.Stdout, *metrics); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
 	if *poll > 0 {
-		runPoller(*addr, *poll, *ioTO, *retries, *reset)
+		level, err := telemetry.ParseLevel(*logLevel)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runPoller(*addr, *poll, *ioTO, *retries, *reset,
+			telemetry.NewLogger(os.Stderr, level, false))
 		return
 	}
 
@@ -85,13 +116,15 @@ func main() {
 // runPoller is the -poll mode: the §4.4 periodic collection loop with
 // health tracking and skipped-window reporting. It runs until SIGINT or
 // SIGTERM.
-func runPoller(addr string, interval, timeout time.Duration, retries int, reset bool) {
+func runPoller(addr string, interval, timeout time.Duration, retries int, reset bool, logger *slog.Logger) {
+	logger.Info("fcmctl poller starting", telemetry.Build().LogGroup(), "addr", addr)
 	p, err := collect.NewPoller(collect.PollerConfig{
 		Addr:     addr,
 		Interval: interval,
 		Timeout:  timeout,
 		Retries:  retries,
 		Reset:    reset,
+		Logger:   logger,
 		OnWindow: func(snap *collect.Snapshot, skipped int) {
 			sk, err := snap.Restore(nil)
 			if err != nil {
@@ -159,6 +192,75 @@ func report(snap *collect.Snapshot, iters, workers, head int) {
 	if !math.IsNaN(h) {
 		fmt.Printf("entropy estimate: %.4f bits\n", h)
 	}
+}
+
+// scrapeMetrics pulls /healthz and /metrics from a telemetry endpoint and
+// renders them: one identity line, then every series grouped by family.
+// Series lines keep their exact exposition-format form at the start of the
+// line so scripts can grep them.
+func scrapeMetrics(w io.Writer, addr string) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	cl := &http.Client{Timeout: 10 * time.Second}
+
+	var health telemetry.Health
+	if err := getJSON(cl, base+"/healthz", &health); err != nil {
+		return fmt.Errorf("scraping %s/healthz: %w", base, err)
+	}
+	fmt.Fprintf(w, "status=%s component=%s uptime=%s version=%s revision=%s go=%s\n",
+		health.Status, health.Component,
+		(time.Duration(health.UptimeSeconds * float64(time.Second))).Round(time.Millisecond),
+		health.Build.Version, health.Build.Short(), health.Build.GoVersion)
+	if len(health.Extra) > 0 {
+		keys := make([]string, 0, len(health.Extra))
+		for k := range health.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %s=%v", k, health.Extra[k])
+		}
+		fmt.Fprintln(w)
+	}
+
+	resp, err := cl.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scraping %s/metrics: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scraping %s/metrics: HTTP %d", base, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			// The help text becomes the family's heading comment.
+			fmt.Fprintf(w, "# %s\n", strings.SplitN(line, " ", 4)[3])
+		case strings.HasPrefix(line, "# TYPE "):
+		default:
+			fmt.Fprintln(w, line)
+		}
+	}
+	return nil
+}
+
+func getJSON(cl *http.Client, url string, v any) error {
+	resp, err := cl.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 func fatalf(format string, args ...any) {

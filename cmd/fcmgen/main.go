@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/fcmsketch/fcm/internal/telemetry"
 	"github.com/fcmsketch/fcm/internal/trace"
 )
 
@@ -25,8 +26,14 @@ func main() {
 		avg     = flag.Float64("avg", 50, "average flow size in packets")
 		seed    = flag.Int64("seed", 1, "generation seed")
 		stats   = flag.Bool("stats", true, "print trace statistics")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("fcmgen " + telemetry.Build().String())
+		return
+	}
 
 	var (
 		tr  *trace.Trace

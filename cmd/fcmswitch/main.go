@@ -14,6 +14,14 @@
 //	fcmswitch -pcap trace.pcap -listen 127.0.0.1:9401
 //	fcmswitch -packets 1000000 -program fcm -shards 4 -listen 127.0.0.1:9401
 //	fcmswitch -packets 1000000 -program fcm+topk -mem 1300000
+//	fcmswitch -listen 127.0.0.1:9401 -telemetry-addr 127.0.0.1:9402
+//
+// With -telemetry-addr the switch serves live introspection over HTTP:
+// /metrics (Prometheus text or ?format=json), /healthz (build + config),
+// and /debug/pprof. The sketch's self-telemetry — per-level occupancy,
+// overflow promotions, saturations, per-shard ingest rates, snapshot and
+// rotation latency — is computed lock-free on the hot path and scanned at
+// scrape time.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"github.com/fcmsketch/fcm/internal/hashing"
 	"github.com/fcmsketch/fcm/internal/packet"
 	"github.com/fcmsketch/fcm/internal/pisa"
+	"github.com/fcmsketch/fcm/internal/telemetry"
 	"github.com/fcmsketch/fcm/internal/trace"
 )
 
@@ -50,8 +59,19 @@ func main() {
 		maxConns = flag.Int("max-conns", 64, "max simultaneous collection connections")
 		hhThresh = flag.Uint64("hh", 0, "print heavy hitters at this threshold (TopK programs)")
 		emitP4   = flag.Bool("emit-p4", false, "print the generated P4 program for the FCM geometry and exit")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this HTTP address")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level, *logJSON)
+	logger.Info("fcmswitch starting", telemetry.Build().LogGroup(),
+		"program", *program, "shards", *shards, "mem", *mem)
 
 	var prog pisa.Program
 	switch *program {
@@ -125,11 +145,49 @@ func main() {
 			WriteTimeout: *writeTO,
 			IdleTimeout:  *idleTO,
 			MaxConns:     *maxConns,
+			Logger:       logger,
 		})
 		if err != nil {
 			fatalf("%v", err)
 		}
 		fmt.Printf("serving registers on %s\n", srv.Addr())
+	}
+
+	// Live introspection: registry + HTTP endpoints, wired before the
+	// replay so ingest runs fully instrumented.
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterProcessMetrics(reg)
+		telemetry.RegisterBuildInfo(reg, telemetry.Build())
+		switch {
+		case eng != nil:
+			eng.Instrument(reg)
+		case locked != nil:
+			engine.InstrumentSketch(reg, sw.Sketch(), locked.SnapshotSketch)
+		}
+		if srv != nil {
+			srv.Instrument(reg, "")
+		}
+		mux := telemetry.NewMux(reg, "fcmswitch", func() map[string]any {
+			extra := map[string]any{
+				"program": *program,
+				"shards":  *shards,
+			}
+			if srv != nil {
+				extra["collect_addr"] = srv.Addr()
+				st := srv.Stats()
+				extra["collect_reads"] = st.Reads
+				extra["collect_conns"] = st.Conns
+			}
+			return extra
+		})
+		addr, shutdownTel, err := telemetry.Serve(*telAddr, mux)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer shutdownTel() //nolint:errcheck // exiting anyway
+		fmt.Printf("telemetry on %s\n", addr)
+		logger.Info("telemetry endpoints up", "addr", addr)
 	}
 
 	switch {
@@ -146,7 +204,9 @@ func main() {
 				}
 			}
 		}
-	case srv != nil && locked != nil:
+	case locked != nil && (srv != nil || *telAddr != ""):
+		// Concurrent readers exist (collection or telemetry scrapes):
+		// updates must serialize against snapshot copies.
 		tr.ForEachPacket(func(_ int, key []byte) {
 			locked.Lock()
 			sw.Update(key, 1)
@@ -165,12 +225,14 @@ func main() {
 		fmt.Printf("heavy hitters ≥ %d: %d flows\n", *hhThresh, len(hh))
 	}
 
-	if srv != nil {
+	if srv != nil || *telAddr != "" {
 		fmt.Println("replay complete; serving until SIGINT/SIGTERM")
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		<-sig
-		srv.Close() //nolint:errcheck // exiting anyway
+		if srv != nil {
+			srv.Close() //nolint:errcheck // exiting anyway
+		}
 	}
 }
 

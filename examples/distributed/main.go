@@ -12,6 +12,11 @@
 // CRC-32C snapshot trailer that turns corruption into a clean retry
 // instead of silently poisoned merges.
 //
+// One shared telemetry registry instruments all three servers and
+// clients, labeled switch="0".."2", and the run closes by printing the
+// collection-plane series — the same exposition a Prometheus scrape of a
+// real deployment would return.
+//
 //	go run ./examples/distributed
 package main
 
@@ -19,17 +24,21 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"strings"
 	"time"
 
 	"github.com/fcmsketch/fcm"
 	"github.com/fcmsketch/fcm/internal/collect"
 	"github.com/fcmsketch/fcm/internal/faultnet"
 	"github.com/fcmsketch/fcm/internal/hashing"
+	"github.com/fcmsketch/fcm/internal/telemetry"
 	"github.com/fcmsketch/fcm/internal/trace"
 )
 
 func main() {
 	cfg := fcm.Config{MemoryBytes: 256 << 10, Seed: 99}
+	reg := telemetry.NewRegistry()
 
 	// One trace split across three switches (e.g. ECMP paths).
 	tr, err := trace.CAIDALike(600_000, 4)
@@ -61,6 +70,7 @@ func main() {
 		})
 		injectors[i] = inj
 		servers[i] = collect.Serve(faultnet.Listen(ln, inj), collect.NewLockedSketch(sk.Core()), collect.ServerConfig{})
+		servers[i].Instrument(reg, fmt.Sprintf(`switch="%d"`, i))
 		defer servers[i].Close()
 	}
 
@@ -92,6 +102,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		cl.Instrument(reg, fmt.Sprintf(`switch="%d"`, i))
 		snap, err := cl.ReadSketch()
 		st := cl.Stats()
 		cl.Close()
@@ -131,5 +142,19 @@ func main() {
 	fmt.Println("network-wide flow size distribution (head):")
 	for size := 1; size <= 4; size++ {
 		fmt.Printf("  size %d: %.0f flows\n", size, dist[size])
+	}
+
+	// The same registry a /metrics endpoint would serve: per-switch
+	// collection-plane counters, labeled.
+	fmt.Println("\ncollection-plane telemetry (Prometheus exposition):")
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fmt.Fprintln(os.Stdout, "  "+line)
 	}
 }

@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
+
+	"github.com/fcmsketch/fcm/internal/telemetry"
 )
 
 // ClientConfig configures a collection client. Zero fields take the
@@ -38,6 +41,9 @@ type ClientConfig struct {
 	// Dial overrides the transport (e.g. to wrap connections with a
 	// fault injector). nil means net.DialTimeout("tcp", ...).
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Logger receives structured recovery records (redials, retries,
+	// decode failures); nil discards them.
+	Logger *slog.Logger
 }
 
 const (
@@ -86,6 +92,9 @@ type ClientStats struct {
 	Dials uint64
 	// Retries counts retried idempotent reads.
 	Retries uint64
+	// DecodeFailures counts responses that framed cleanly but failed
+	// decoding (e.g. CRC mismatch from a corrupting link).
+	DecodeFailures uint64
 }
 
 // Client pulls snapshots from a Server over a reused connection. It
@@ -99,8 +108,11 @@ type Client struct {
 	mu   sync.Mutex // guards conn handoff against Close
 	conn net.Conn
 
-	dials   uint64
-	retries uint64
+	dials          uint64
+	retries        uint64
+	decodeFailures uint64
+
+	log *slog.Logger
 }
 
 // NewClient builds a client. The connection is established lazily on the
@@ -110,7 +122,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, errors.New("collect: client needs an address")
 	}
 	cfg = cfg.withDefaults()
-	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.JitterSeed))}, nil
+	return &Client{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.JitterSeed)),
+		log: telemetry.OrNop(cfg.Logger),
+	}, nil
 }
 
 // Dial connects to a collection server with the given timeout, applying
@@ -144,7 +160,11 @@ func (c *Client) Close() error {
 func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return ClientStats{Dials: c.dials, Retries: c.retries}
+	return ClientStats{
+		Dials:          c.dials,
+		Retries:        c.retries,
+		DecodeFailures: c.decodeFailures,
+	}
 }
 
 // ReadSketch fetches a register snapshot, retrying per the config.
@@ -201,6 +221,8 @@ func (c *Client) call(ctx context.Context, req []byte, idempotent bool, decode f
 			c.mu.Lock()
 			c.retries++
 			c.mu.Unlock()
+			c.log.Debug("retrying read",
+				"attempt", attempt, "max", attempts-1, "last_err", lastErr)
 			if err := c.backoff(ctx, attempt); err != nil {
 				return nil, err
 			}
@@ -208,6 +230,10 @@ func (c *Client) call(ctx context.Context, req []byte, idempotent bool, decode f
 		payload, err := c.attempt(ctx, req)
 		if err == nil && decode != nil {
 			if derr := decode(payload); derr != nil {
+				c.mu.Lock()
+				c.decodeFailures++
+				c.mu.Unlock()
+				c.log.Warn("response decode failed, dropping connection", "err", derr)
 				c.dropCurrent()
 				err = derr
 			}
@@ -263,8 +289,12 @@ func (c *Client) ensureConn(ctx context.Context) (net.Conn, error) {
 	}
 	c.mu.Lock()
 	c.conn = conn
-	c.dials++
+	dials := c.dials + 1
+	c.dials = dials
 	c.mu.Unlock()
+	if dials > 1 {
+		c.log.Debug("reconnected to collection server", "addr", c.cfg.Addr, "dials", dials)
+	}
 	return conn, nil
 }
 

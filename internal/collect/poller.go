@@ -3,9 +3,12 @@ package collect
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
+
+	"github.com/fcmsketch/fcm/internal/telemetry"
 )
 
 // State is the poller's health, derived from consecutive collection
@@ -52,6 +55,10 @@ type PollerStats struct {
 	ConsecutiveFailures int
 	// State is the current health state.
 	State State
+	// TransitionsTo counts entries into each state, indexed by State
+	// (TransitionsTo[Down] is how often the switch was declared
+	// unreachable). The initial Healthy state is not counted.
+	TransitionsTo [3]uint64
 }
 
 // Poller periodically collects snapshots from a switch — the "periodically
@@ -74,6 +81,8 @@ type Poller struct {
 	statMu  sync.Mutex
 	stats   PollerStats
 	pending int // failures since the last delivered snapshot
+
+	log *slog.Logger
 }
 
 // PollerConfig configures a Poller.
@@ -110,6 +119,9 @@ type PollerConfig struct {
 	DownAfter     int
 	// Dial overrides the client transport (e.g. fault injection).
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Logger receives structured health and failure records (and is
+	// passed through to the underlying client); nil discards them.
+	Logger *slog.Logger
 }
 
 // NewPoller validates the configuration and returns an unstarted Poller.
@@ -138,11 +150,12 @@ func NewPoller(cfg PollerConfig) (*Poller, error) {
 		IOTimeout:   cfg.Timeout,
 		MaxRetries:  cfg.Retries,
 		Dial:        cfg.Dial,
+		Logger:      cfg.Logger,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Poller{cfg: cfg, client: client}, nil
+	return &Poller{cfg: cfg, client: client, log: telemetry.OrNop(cfg.Logger)}, nil
 }
 
 // Start launches the collection loop. It is an error to start a running
@@ -234,15 +247,26 @@ func (p *Poller) noteFailure(err error) {
 	p.stats.SkippedWindows++
 	p.stats.ConsecutiveFailures++
 	p.pending++
+	consecutive := p.stats.ConsecutiveFailures
 	from := p.stats.State
-	to := p.healthFor(p.stats.ConsecutiveFailures)
+	to := p.healthFor(consecutive)
 	p.stats.State = to
+	if to != from {
+		p.stats.TransitionsTo[to]++
+	}
 	p.statMu.Unlock()
+	p.log.Debug("collection failed",
+		"addr", p.cfg.Addr, "err", err, "consecutive", consecutive)
 	if p.cfg.OnError != nil {
 		p.cfg.OnError(err)
 	}
-	if to != from && p.cfg.OnStateChange != nil {
-		p.cfg.OnStateChange(from, to)
+	if to != from {
+		p.log.Warn("switch health degraded",
+			"addr", p.cfg.Addr, "from", from.String(), "to", to.String(),
+			"consecutive", consecutive)
+		if p.cfg.OnStateChange != nil {
+			p.cfg.OnStateChange(from, to)
+		}
 	}
 }
 
@@ -256,6 +280,9 @@ func (p *Poller) noteSuccess(snap *Snapshot) {
 	p.pending = 0
 	from := p.stats.State
 	p.stats.State = Healthy
+	if from != Healthy {
+		p.stats.TransitionsTo[Healthy]++
+	}
 	p.statMu.Unlock()
 	if p.cfg.OnSnapshot != nil {
 		p.cfg.OnSnapshot(snap)
@@ -263,8 +290,12 @@ func (p *Poller) noteSuccess(snap *Snapshot) {
 	if p.cfg.OnWindow != nil {
 		p.cfg.OnWindow(snap, skipped)
 	}
-	if from != Healthy && p.cfg.OnStateChange != nil {
-		p.cfg.OnStateChange(from, Healthy)
+	if from != Healthy {
+		p.log.Info("switch recovered",
+			"addr", p.cfg.Addr, "from", from.String(), "skipped_windows", skipped)
+		if p.cfg.OnStateChange != nil {
+			p.cfg.OnStateChange(from, Healthy)
+		}
 	}
 }
 

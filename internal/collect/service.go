@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/fcmsketch/fcm/internal/core"
+	"github.com/fcmsketch/fcm/internal/telemetry"
 )
 
 // Wire protocol: every message is a 1-byte opcode framed request followed
@@ -66,6 +68,9 @@ type ServerConfig struct {
 	// MaxConns caps concurrently served connections (default 64). Excess
 	// connections wait in the accept backlog until a slot frees.
 	MaxConns int
+	// Logger receives structured lifecycle and failure records; nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 const (
@@ -99,6 +104,12 @@ type ServerStats struct {
 	Conns uint64
 	// Active is the number of connections being served right now.
 	Active int64
+	// Reads counts snapshot frames served (OpReadSketch successes).
+	Reads uint64
+	// Resets counts window rotations performed (OpResetSketch).
+	Resets uint64
+	// Errors counts requests answered with an error status.
+	Errors uint64
 }
 
 // Server exposes a data plane's sketch registers over TCP so a controller
@@ -117,6 +128,11 @@ type Server struct {
 	acceptRetries atomic.Uint64
 	totalConns    atomic.Uint64
 	activeConns   atomic.Int64
+	reads         atomic.Uint64
+	resets        atomic.Uint64
+	reqErrors     atomic.Uint64
+
+	log *slog.Logger
 }
 
 // NewServer starts serving the source on addr (use "127.0.0.1:0" for an
@@ -148,7 +164,10 @@ func Serve(ln net.Listener, src Source, cfg ServerConfig) *Server {
 		closed: make(chan struct{}),
 		sem:    make(chan struct{}, cfg.MaxConns),
 		conns:  make(map[net.Conn]struct{}),
+		log:    telemetry.OrNop(cfg.Logger),
 	}
+	s.log.Info("collect server listening",
+		"addr", ln.Addr().String(), "max_conns", cfg.MaxConns)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -163,6 +182,9 @@ func (s *Server) Stats() ServerStats {
 		AcceptRetries: s.acceptRetries.Load(),
 		Conns:         s.totalConns.Load(),
 		Active:        s.activeConns.Load(),
+		Reads:         s.reads.Load(),
+		Resets:        s.resets.Load(),
+		Errors:        s.reqErrors.Load(),
 	}
 }
 
@@ -266,6 +288,8 @@ func (s *Server) acceptLoop() {
 			// busy-spinning, and stay responsive to Close.
 			failures++
 			s.acceptRetries.Add(1)
+			s.log.Warn("accept failed, backing off",
+				"err", err, "consecutive", failures, "backoff", acceptBackoff(failures))
 			t := time.NewTimer(acceptBackoff(failures))
 			select {
 			case <-t.C:
@@ -321,11 +345,16 @@ func (s *Server) serve(conn net.Conn) {
 			if err := s.writeFrameDeadline(conn, append([]byte{statusOK}, data...)); err != nil {
 				return
 			}
+			s.reads.Add(1)
+			s.log.Debug("snapshot served",
+				"peer", conn.RemoteAddr().String(), "bytes", len(data))
 		case OpResetSketch:
 			s.src.ResetSketch()
 			if err := s.writeFrameDeadline(conn, []byte{statusOK}); err != nil {
 				return
 			}
+			s.resets.Add(1)
+			s.log.Debug("window rotated", "peer", conn.RemoteAddr().String())
 		default:
 			s.writeError(conn, fmt.Sprintf("unknown opcode %d", req[0])) //nolint:errcheck
 			return
@@ -340,6 +369,8 @@ func (s *Server) writeFrameDeadline(conn net.Conn, payload []byte) error {
 }
 
 func (s *Server) writeError(conn net.Conn, msg string) error {
+	s.reqErrors.Add(1)
+	s.log.Warn("request rejected", "peer", conn.RemoteAddr().String(), "reason", msg)
 	return s.writeFrameDeadline(conn, append([]byte{statusErr}, msg...))
 }
 

@@ -13,9 +13,51 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"github.com/fcmsketch/fcm/internal/hashing"
 )
+
+// Stats is the sketch's optional hot-path self-telemetry: update volume,
+// per-boundary overflow promotions, and root-stage saturations, all plain
+// atomics so readers (a scraping goroutine) never coordinate with the
+// writer. A sketch with no Stats attached pays only a nil check per stage
+// visited; with Stats attached, Update adds one uncontended atomic add
+// (promotions and saturations are off the common path — they fire only
+// when a counter actually overflows).
+//
+// Counts are cumulative over the sketch's lifetime; Reset does not clear
+// them (scrapers take deltas). Several sketches may share one Stats to
+// aggregate, or each shard may carry its own for per-shard series.
+type Stats struct {
+	// Updates counts Update calls (not packets×trees: one per call).
+	Updates atomic.Uint64
+	// Promotions[l] counts nodes of stage l (0-based, leaves first) that
+	// reached their overflow marker and promoted their excess to stage
+	// l+1 — the 8-bit → 16-bit → 32-bit escalation of §3.1. Length is
+	// depth−1: the root has no parent to promote into.
+	Promotions []atomic.Uint64
+	// Saturations counts updates clamped at the root stage's counting
+	// capacity — the sketch's hard overflow, after which counts are
+	// underestimates.
+	Saturations atomic.Uint64
+}
+
+// NewStats builds a Stats sized for a sketch of the given stage depth.
+func NewStats(depth int) *Stats {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Stats{Promotions: make([]atomic.Uint64, depth-1)}
+}
+
+// PromotionCount returns Promotions[l], or 0 when l is out of range.
+func (s *Stats) PromotionCount(l int) uint64 {
+	if l < 0 || l >= len(s.Promotions) {
+		return 0
+	}
+	return s.Promotions[l].Load()
+}
 
 // Config parameterizes an FCM-Sketch.
 type Config struct {
@@ -64,6 +106,7 @@ type tree struct {
 	max    []uint32   // counting capacity per stage: 2^b − 2
 	mark   []uint32   // overflow marker per stage: 2^b − 1
 	hasher hashing.Hasher
+	stats  *Stats // shared with the owning Sketch; nil = uninstrumented
 }
 
 // Sketch is a (possibly multi-tree) FCM-Sketch.
@@ -73,6 +116,7 @@ type Sketch struct {
 	widths       []int
 	w1           int
 	conservative bool
+	stats        *Stats // nil = uninstrumented
 }
 
 // New builds an FCM-Sketch from cfg.
@@ -177,6 +221,9 @@ func (s *Sketch) Update(key []byte, inc uint64) {
 	if inc == 0 {
 		return
 	}
+	if s.stats != nil {
+		s.stats.Updates.Add(1)
+	}
 	if s.conservative && len(s.trees) > 1 {
 		s.updateConservative(key, inc)
 		return
@@ -216,6 +263,9 @@ func (t *tree) update(key []byte, inc uint64) {
 			sum := uint64(v) + rem
 			if sum > uint64(t.max[l]) {
 				sum = uint64(t.max[l])
+				if t.stats != nil {
+					t.stats.Saturations.Add(1)
+				}
 			}
 			t.stages[l][idx] = uint32(sum)
 			return
@@ -228,6 +278,9 @@ func (t *tree) update(key []byte, inc uint64) {
 			}
 			t.stages[l][idx] = t.mark[l]
 			rem -= capacity
+			if t.stats != nil {
+				t.stats.Promotions[l].Add(1)
+			}
 		}
 		idx /= t.k
 	}
@@ -312,7 +365,9 @@ func (s *Sketch) Reset() {
 // Clone returns a deep copy of the sketch: counters are copied, hash
 // functions (stateless after construction) are shared. The clone ingests
 // and merges independently of the original, so it serves as a consistent
-// read snapshot or as a per-shard replica.
+// read snapshot or as a per-shard replica. Telemetry is NOT carried over:
+// a clone is a snapshot, and double-counting its updates into the
+// original's Stats would corrupt the series.
 func (s *Sketch) Clone() *Sketch {
 	c := &Sketch{
 		k:            s.k,
@@ -333,6 +388,70 @@ func (s *Sketch) Clone() *Sketch {
 		c.trees = append(c.trees, ct)
 	}
 	return c
+}
+
+// SetStats attaches (or, with nil, detaches) hot-path telemetry. st's
+// Promotions must cover depth−1 boundaries (NewStats(s.Depth())). Attach
+// before concurrent ingest starts: the pointer write is not synchronized
+// with in-flight updates.
+func (s *Sketch) SetStats(st *Stats) {
+	if st != nil && len(st.Promotions) < len(s.widths)-1 {
+		panic(fmt.Sprintf("core: Stats sized for %d boundaries, sketch has %d",
+			len(st.Promotions), len(s.widths)-1))
+	}
+	s.stats = st
+	for _, t := range s.trees {
+		t.stats = st
+	}
+}
+
+// Stats returns the attached telemetry, or nil.
+func (s *Sketch) Stats() *Stats { return s.stats }
+
+// StageOccupancy returns, per stage, the fraction of non-zero nodes
+// averaged over the trees — the saturation signal for the 8/16/32-bit
+// levels (stage-1 occupancy is also what drives Linear Counting error).
+// It scans every register: call it on snapshots at scrape time, not on
+// the ingest path.
+func (s *Sketch) StageOccupancy() []float64 {
+	occ := make([]float64, len(s.widths))
+	for _, t := range s.trees {
+		for l, st := range t.stages {
+			nz := 0
+			for _, v := range st {
+				if v != 0 {
+					nz++
+				}
+			}
+			occ[l] += float64(nz) / float64(len(st))
+		}
+	}
+	for l := range occ {
+		occ[l] /= float64(len(s.trees))
+	}
+	return occ
+}
+
+// OverflowedNodes returns, per stage, the number of nodes sitting at the
+// overflow marker summed across trees (the root stage reports clamped
+// nodes). Like StageOccupancy, it scans registers — scrape time only.
+func (s *Sketch) OverflowedNodes() []int {
+	over := make([]int, len(s.widths))
+	last := len(s.widths) - 1
+	for _, t := range s.trees {
+		for l, st := range t.stages {
+			bound := t.mark[l]
+			if l == last {
+				bound = t.max[l]
+			}
+			for _, v := range st {
+				if v >= bound {
+					over[l]++
+				}
+			}
+		}
+	}
+	return over
 }
 
 // K returns the tree arity.

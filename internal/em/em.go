@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/fcmsketch/fcm/internal/core"
 )
@@ -58,6 +59,8 @@ type Config struct {
 	// every iteration (used by the Fig. 9b convergence experiment). The
 	// slice must not be retained.
 	OnIteration func(iter int, dist []float64)
+	// Metrics, when non-nil, receives run/iteration counts and latency.
+	Metrics *Metrics
 }
 
 // Result holds the final estimates.
@@ -110,8 +113,17 @@ func Run(cfg Config, trees [][]core.VirtualCounter) (*Result, error) {
 
 	e := &engine{cfg: cfg, groups: groups, zmax: zmax, d: len(trees), workers: workers}
 	e.init(trees)
+	if m := cfg.Metrics; m != nil {
+		m.Runs.Inc()
+		defer m.RunSeconds.ObserveSince(time.Now())
+	}
 	for it := 0; it < cfg.Iterations; it++ {
+		iterStart := time.Now()
 		e.iterate()
+		if m := cfg.Metrics; m != nil {
+			m.Iterations.Inc()
+			m.IterSeconds.ObserveSince(iterStart)
+		}
 		if cfg.OnIteration != nil {
 			cfg.OnIteration(it+1, e.dist)
 		}

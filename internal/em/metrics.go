@@ -1,0 +1,31 @@
+package em
+
+import (
+	"github.com/fcmsketch/fcm/internal/telemetry"
+)
+
+// Metrics is the estimator's self-telemetry: run/iteration volume and
+// latency. Attach one to Config.Metrics; nil leaves the estimator
+// unobserved at zero cost.
+type Metrics struct {
+	Runs        *telemetry.Counter
+	Iterations  *telemetry.Counter
+	IterSeconds *telemetry.Histogram
+	RunSeconds  *telemetry.Histogram
+}
+
+// NewMetrics registers the estimator's series on reg. EM iterations run
+// milliseconds to minutes depending on scale, so the buckets span
+// 100µs … ~26s (and runs 1ms … ~4.4min).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Runs: reg.Counter("fcm_em_runs_total",
+			"EM estimator invocations."),
+		Iterations: reg.Counter("fcm_em_iterations_total",
+			"EM iterations completed across all runs."),
+		IterSeconds: reg.Histogram("fcm_em_iteration_seconds",
+			"Latency of one EM iteration.", telemetry.ExpBuckets(1e-4, 4, 10)),
+		RunSeconds: reg.Histogram("fcm_em_run_seconds",
+			"End-to-end latency of one EM run.", telemetry.ExpBuckets(1e-3, 4, 10)),
+	}
+}

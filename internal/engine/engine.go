@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/fcmsketch/fcm/internal/core"
 	"github.com/fcmsketch/fcm/internal/hashing"
+	"github.com/fcmsketch/fcm/internal/telemetry"
 )
 
 // Config parameterizes an Engine.
@@ -56,6 +58,12 @@ type shard struct {
 type Engine struct {
 	shards []shard
 	hasher hashing.Hasher
+
+	// Latency histograms, nil until Instrument; read-plane only, so a nil
+	// check per Snapshot/Rotate is the whole uninstrumented cost.
+	snapSeconds   *telemetry.Histogram
+	mergeSeconds  *telemetry.Histogram
+	rotateSeconds *telemetry.Histogram
 }
 
 // New builds an engine with cfg.Shards replicas from cfg.Build.
@@ -148,6 +156,9 @@ func (e *Engine) Generation() uint64 {
 // as with any streaming snapshot). Each shard is locked only while its
 // registers are copied; the merge runs outside all locks.
 func (e *Engine) Snapshot() (*core.Sketch, uint64) {
+	if e.snapSeconds != nil {
+		defer e.snapSeconds.ObserveSince(time.Now())
+	}
 	clones := make([]*core.Sketch, len(e.shards))
 	var gen uint64
 	for i := range e.shards {
@@ -157,6 +168,15 @@ func (e *Engine) Snapshot() (*core.Sketch, uint64) {
 		gen += sh.gen.Load()
 		sh.mu.Unlock()
 	}
+	return e.mergeClones(clones), gen
+}
+
+// mergeClones folds per-shard register copies into one sketch outside all
+// shard locks, timing the exact-merge phase when instrumented.
+func (e *Engine) mergeClones(clones []*core.Sketch) *core.Sketch {
+	if e.mergeSeconds != nil {
+		defer e.mergeSeconds.ObserveSince(time.Now())
+	}
 	merged := clones[0]
 	for _, c := range clones[1:] {
 		if err := merged.Merge(c); err != nil {
@@ -165,13 +185,16 @@ func (e *Engine) Snapshot() (*core.Sketch, uint64) {
 			panic(fmt.Sprintf("engine: shards not mergeable: %v", err))
 		}
 	}
-	return merged, gen
+	return merged
 }
 
 // Rotate atomically snapshots and clears each shard, returning the exact
 // merge of the closed window. Updates concurrent with Rotate land in
 // either the closed or the new window (never both, never neither).
 func (e *Engine) Rotate() *core.Sketch {
+	if e.rotateSeconds != nil {
+		defer e.rotateSeconds.ObserveSince(time.Now())
+	}
 	clones := make([]*core.Sketch, len(e.shards))
 	for i := range e.shards {
 		sh := &e.shards[i]
@@ -181,13 +204,7 @@ func (e *Engine) Rotate() *core.Sketch {
 		sh.gen.Add(1)
 		sh.mu.Unlock()
 	}
-	merged := clones[0]
-	for _, c := range clones[1:] {
-		if err := merged.Merge(c); err != nil {
-			panic(fmt.Sprintf("engine: shards not mergeable: %v", err))
-		}
-	}
-	return merged
+	return e.mergeClones(clones)
 }
 
 // Reset clears every shard.

@@ -42,6 +42,7 @@ func RunAblation(o Options) ([]*Table, error) {
 		res, err := em.Run(em.Config{
 			W1: s.LeafWidth(), Theta1: s.StageMax(0),
 			Iterations: o.EMIterations, Workers: o.Workers,
+			Metrics: o.EMMetrics,
 		}, s.VirtualCounters())
 		if err != nil {
 			return 0, 0, 0, err

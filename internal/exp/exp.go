@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 
+	"github.com/fcmsketch/fcm/internal/em"
 	"github.com/fcmsketch/fcm/internal/exact"
 	"github.com/fcmsketch/fcm/internal/metrics"
 	"github.com/fcmsketch/fcm/internal/sketch"
@@ -38,6 +39,9 @@ type Options struct {
 	Shards int
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
+	// EMMetrics, when non-nil, instruments every EM run the experiments
+	// perform (iteration counts and latency on fcmbench's -debug-addr).
+	EMMetrics *em.Metrics
 }
 
 // withDefaults normalizes the options.

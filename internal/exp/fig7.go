@@ -186,7 +186,7 @@ func RunFig9(o Options) ([]*Table, error) {
 		return time.Since(start).Seconds() / float64(iters), nil
 	}
 	mracSec, err := timePerIter(func() error {
-		_, err := em.Run(em.Config{W1: mr.Width(), Iterations: iters, Workers: 1},
+		_, err := em.Run(em.Config{W1: mr.Width(), Iterations: iters, Workers: 1, Metrics: o.EMMetrics},
 			[][]core.VirtualCounter{mrVCs})
 		return err
 	})
@@ -194,14 +194,14 @@ func RunFig9(o Options) ([]*Table, error) {
 		return nil, err
 	}
 	fcmSingle, err := timePerIter(func() error {
-		_, err := em.Run(em.Config{W1: fcmW1, Theta1: fcmTheta, Iterations: iters, Workers: 1}, fcmVCs)
+		_, err := em.Run(em.Config{W1: fcmW1, Theta1: fcmTheta, Iterations: iters, Workers: 1, Metrics: o.EMMetrics}, fcmVCs)
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
 	fcmMulti, err := timePerIter(func() error {
-		_, err := em.Run(em.Config{W1: fcmW1, Theta1: fcmTheta, Iterations: iters, Workers: 0}, fcmVCs)
+		_, err := em.Run(em.Config{W1: fcmW1, Theta1: fcmTheta, Iterations: iters, Workers: 0, Metrics: o.EMMetrics}, fcmVCs)
 		return err
 	})
 	if err != nil {

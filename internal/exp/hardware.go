@@ -91,11 +91,11 @@ func RunFig13(o Options) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	hwDist, err := distFromSwitch(hwFCM, emo)
+	hwDist, err := distFromSwitch(hwFCM, emo, o.EMMetrics)
 	if err != nil {
 		return nil, err
 	}
-	hwTDist, err := distFromSwitch(hwTopK, emo)
+	hwTDist, err := distFromSwitch(hwTopK, emo, o.EMMetrics)
 	if err != nil {
 		return nil, err
 	}
@@ -111,13 +111,14 @@ func RunFig13(o Options) ([]*Table, error) {
 
 // distFromSwitch runs the control-plane EM on a hardware switch's
 // collected registers (plus exact filter residents when present).
-func distFromSwitch(sw *pisa.Switch, emo *fcm.EMOptions) ([]float64, error) {
+func distFromSwitch(sw *pisa.Switch, emo *fcm.EMOptions, m *em.Metrics) ([]float64, error) {
 	sk := sw.Sketch()
 	res, err := em.Run(em.Config{
 		W1:         sk.LeafWidth(),
 		Theta1:     sk.StageMax(0),
 		Iterations: emo.Iterations,
 		Workers:    emo.Workers,
+		Metrics:    m,
 	}, sk.VirtualCounters())
 	if err != nil {
 		return nil, err
@@ -154,6 +155,7 @@ func cmSwitchDistribution(sw *pisa.Switch, o Options) ([]float64, error) {
 		W1:         len(row),
 		Iterations: o.EMIterations,
 		Workers:    o.Workers,
+		Metrics:    o.EMMetrics,
 	}, [][]core.VirtualCounter{vcs})
 	if err != nil {
 		return nil, err
@@ -266,7 +268,7 @@ func RunFig14(o Options) ([]*Table, error) {
 		q := func(p float64) float64 { return errs[int(p*float64(len(errs)-1))] }
 		cdf.AddRow(v.name, q(0.50), q(0.90), q(0.99), errs[len(errs)-1])
 		if sk := v.sw.Sketch(); sk != nil {
-			dist, err := distFromSwitch(v.sw, emo)
+			dist, err := distFromSwitch(v.sw, emo, o.EMMetrics)
 			if err != nil {
 				return nil, err
 			}

@@ -35,6 +35,7 @@ var registry = map[string]Experiment{
 	"hc":       {"hc", "Heavy-change detection across windows (footnote 4)", RunHeavyChange},
 	"speed":    {"speed", "Single-core ingest throughput of every structure", RunSpeed},
 	"shardedspeed": {"shardedspeed", "Multi-writer sharded ingest throughput + exact-merge check", RunShardedSpeed},
+	"telemetry":    {"telemetry", "Ingest throughput overhead of sketch self-telemetry (≤5% contract)", RunTelemetryOverhead},
 }
 
 // Lookup returns the experiment with the given ID.

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"log/slog"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the binary that produced a measurement: module
+// version, VCS revision, and toolchain. Filled from
+// runtime/debug.ReadBuildInfo, so it is accurate for any `go build` of a
+// checked-out tree and degrades to "unknown" fields under `go run` of a
+// dirty cache.
+type BuildInfo struct {
+	// Path is the main module path.
+	Path string `json:"path"`
+	// Version is the main module version ("(devel)" for a working tree).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit hash, when stamped.
+	Revision string `json:"revision"`
+	// Time is the VCS commit time, when stamped.
+	Time string `json:"time,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty"`
+}
+
+// Build reads the running binary's build information.
+func Build() BuildInfo {
+	b := BuildInfo{Version: "unknown", Revision: "unknown", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Path = info.Main.Path
+	if info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	if info.GoVersion != "" {
+		b.GoVersion = info.GoVersion
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// Short returns the revision truncated to 12 characters, with a "+dirty"
+// suffix when the tree was modified — the form for log lines.
+func (b BuildInfo) Short() string {
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// String renders a one-line description for -version flags.
+func (b BuildInfo) String() string {
+	return fmt.Sprintf("%s %s (rev %s, %s)", b.Path, b.Version, b.Short(), b.GoVersion)
+}
+
+// LogGroup returns the build info as a slog group attribute, so every
+// binary's startup line carries the commit that produced its
+// measurements.
+func (b BuildInfo) LogGroup() slog.Attr {
+	return slog.Group("build",
+		slog.String("version", b.Version),
+		slog.String("revision", b.Short()),
+		slog.String("go", b.GoVersion),
+	)
+}
+
+// RegisterBuildInfo exports the build as the conventional constant-1
+// info series, labeled with version and revision.
+func RegisterBuildInfo(reg *Registry, b BuildInfo) {
+	reg.GaugeFuncL("fcm_build_info",
+		fmt.Sprintf(`version=%q,revision=%q,go=%q`, b.Version, b.Short(), b.GoVersion),
+		"Build information of the running binary (value is always 1).",
+		func() float64 { return 1 })
+}

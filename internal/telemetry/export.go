@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): `# HELP` and `# TYPE` lines followed by one line
+// per series, histogram families expanded into cumulative `_bucket`
+// series plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.mtype); err != nil {
+			return err
+		}
+		if f.hist != nil {
+			if err := writeHistogram(w, f.name, f.hist); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, s := range f.samples {
+			if err := writeSample(w, f.name, "", s.labels, s.value()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram family: cumulative buckets with
+// `le` labels, then sum and count.
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		le := strconv.FormatFloat(bound, 'g', -1, 64)
+		if err := writeSample(w, name, "_bucket", `le="`+le+`"`, float64(cum)); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if err := writeSample(w, name, "_bucket", `le="+Inf"`, float64(cum)); err != nil {
+		return err
+	}
+	if err := writeSample(w, name, "_sum", "", h.Sum()); err != nil {
+		return err
+	}
+	return writeSample(w, name, "_count", "", float64(h.Count()))
+}
+
+// writeSample renders one series line.
+func writeSample(w io.Writer, name, suffix, labels string, v float64) error {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s%s%s %s\n", name, suffix, labels, strconv.FormatFloat(v, 'g', -1, 64))
+	return err
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteJSON renders every family as one flat JSON object — the
+// expvar-style view. Plain series map "name" or "name{labels}" to their
+// value; histograms map to {"count":…, "sum":…, "buckets":{"le":count}}
+// with cumulative bucket counts.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := map[string]any{}
+	for _, f := range r.snapshotFamilies() {
+		if f.hist != nil {
+			buckets := map[string]uint64{}
+			cum := uint64(0)
+			for i, bound := range f.hist.bounds {
+				cum += f.hist.counts[i].Load()
+				buckets[strconv.FormatFloat(bound, 'g', -1, 64)] = cum
+			}
+			cum += f.hist.counts[len(f.hist.bounds)].Load()
+			buckets["+Inf"] = cum
+			out[f.name] = map[string]any{
+				"count":   f.hist.Count(),
+				"sum":     f.hist.Sum(),
+				"buckets": buckets,
+			}
+			continue
+		}
+		for _, s := range f.samples {
+			key := f.name
+			if s.labels != "" {
+				key += "{" + s.labels + "}"
+			}
+			out[key] = s.value()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ServeHTTP makes the registry an http.Handler: Prometheus text by
+// default, JSON with ?format=json.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w) //nolint:errcheck // client went away
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WritePrometheus(w) //nolint:errcheck // client went away
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Health is the /healthz payload: liveness plus enough identity to tell
+// which binary, commit, and configuration produced a measurement.
+type Health struct {
+	Status        string         `json:"status"`
+	Component     string         `json:"component"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Build         BuildInfo      `json:"build"`
+	Extra         map[string]any `json:"extra,omitempty"`
+}
+
+// NewMux assembles the live-introspection endpoints around a registry:
+//
+//	/metrics      Prometheus text (or ?format=json)
+//	/healthz      JSON health + build info (+ extra fields per scrape)
+//	/debug/pprof  CPU/heap/mutex/block and friends (net/http/pprof)
+//
+// extra, when non-nil, contributes component-specific health fields
+// (program, listen address, shard count, …) computed per request.
+func NewMux(reg *Registry, component string, extra func() map[string]any) *http.ServeMux {
+	start := time.Now()
+	build := Build()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := Health{
+			Status:        "ok",
+			Component:     component,
+			UptimeSeconds: time.Since(start).Seconds(),
+			Build:         build,
+		}
+		if extra != nil {
+			h.Extra = extra()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "%s telemetry\n\n/metrics\n/healthz\n/debug/pprof/\n", component)
+	})
+	return mux
+}
+
+// Serve listens on addr (":0" picks an ephemeral port) and serves mux in
+// the background. It returns the bound address and a shutdown function;
+// serving errors after a successful listen are dropped — the endpoint is
+// diagnostic, never load-bearing.
+func Serve(addr string, mux http.Handler) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // closed on shutdown
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// RegisterProcessMetrics exports runtime-level series every binary shares:
+// goroutines, heap in use, GC cycles, and uptime.
+func RegisterProcessMetrics(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_inuse_bytes", "Heap bytes in use (runtime.MemStats.HeapInuse).",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapInuse)
+		})
+	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.NumGC)
+		})
+	reg.GaugeFunc("process_uptime_seconds", "Seconds since the process registered telemetry.",
+		func() float64 { return time.Since(start).Seconds() })
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value to a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("telemetry: unknown log level %q (debug, info, warn, error)", s)
+	}
+}
+
+// NewLogger builds the shared structured logger: text (logfmt-style) by
+// default, JSON when jsonFormat is set — one handler threaded through the
+// collection plane so every component's records carry the same shape.
+func NewLogger(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// nopHandler drops every record. (slog.DiscardHandler needs go 1.24; the
+// module targets 1.22.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+// Nop returns a logger that discards everything — the default wherever a
+// Logger config field is nil, so instrumentation never needs nil checks.
+func Nop() *slog.Logger { return slog.New(nopHandler{}) }
+
+// OrNop returns l, or the discarding logger when l is nil.
+func OrNop(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return Nop()
+	}
+	return l
+}

@@ -1,0 +1,324 @@
+// Package telemetry is the self-measurement plane of the FCM reproduction:
+// a stdlib-only metrics registry with lock-free instruments, snapshot
+// export in Prometheus text exposition format and expvar-style JSON, and
+// slog-based structured logging shared by the collection plane.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path cost ~0. Instruments are single atomic words (Counter,
+//     Gauge) or per-shard padded words (ShardedCounter), so an
+//     instrumented sketch Update costs one uncontended atomic add.
+//     Anything expensive — occupancy scans, merged snapshots — runs at
+//     scrape time through Func metrics, never on the ingest path.
+//  2. No dependencies. The exposition format is the Prometheus text
+//     format, produced by hand; any Prometheus-compatible scraper (or
+//     `fcmctl -metrics`) can read it.
+//  3. Registration is explicit and happens at startup; the registry
+//     never allocates after that on the write path.
+//
+// Metric naming follows the Prometheus conventions: `fcm_<subsystem>_
+// <name>_<unit>[_total]`, with `_total` reserved for monotonic counters
+// and base units (seconds, bytes) spelled out. See DESIGN.md
+// ("Observability") for the full series catalogue.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// usable, but counters are normally created through Registry.Counter so
+// they export themselves.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that may go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative deltas decrease the gauge).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// shardSlot pads each counter word to a cache line so neighbouring shards
+// never false-share under concurrent writers.
+type shardSlot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// ShardedCounter is a counter split across N independent cache-line-padded
+// slots: writer i adds to slot i with no coordination whatsoever, and the
+// scrape-time read sums the slots. It is the instrument for per-shard
+// ingest paths, where even an uncontended shared atomic would bounce a
+// cache line between writers.
+type ShardedCounter struct {
+	slots []shardSlot
+}
+
+// NewShardedCounter builds a counter with n slots (n ≥ 1).
+func NewShardedCounter(n int) *ShardedCounter {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardedCounter{slots: make([]shardSlot, n)}
+}
+
+// Shards returns the slot count.
+func (s *ShardedCounter) Shards() int { return len(s.slots) }
+
+// Add adds n to slot shard. shard must be in [0, Shards()).
+func (s *ShardedCounter) Add(shard int, n uint64) { s.slots[shard].v.Add(n) }
+
+// Inc adds one to slot shard.
+func (s *ShardedCounter) Inc(shard int) { s.slots[shard].v.Add(1) }
+
+// ShardValue returns slot shard's count.
+func (s *ShardedCounter) ShardValue(shard int) uint64 { return s.slots[shard].v.Load() }
+
+// Value returns the sum over all slots. The sum is not a consistent
+// point-in-time snapshot under concurrent writers (no counter read is),
+// but each slot value is exact and the total is monotone.
+func (s *ShardedCounter) Value() uint64 {
+	var total uint64
+	for i := range s.slots {
+		total += s.slots[i].v.Load()
+	}
+	return total
+}
+
+// atomicFloat accumulates a float64 with compare-and-swap over its bits —
+// the standard lock-free float accumulator.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: counts per bucket plus a running
+// sum and count, all lock-free. Bucket bounds are inclusive upper bounds
+// (`le` in Prometheus terms); an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64       // sorted ascending, exclusive of +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+// NewHistogram builds a histogram over the given sorted upper bounds.
+// Most callers go through Registry.Histogram.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (≤ ~20); linear scan beats binary search at this
+	// size and has no branch misprediction cliff.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// ObserveSince records the elapsed seconds since start — the idiom for
+// latency sections: defer h.ObserveSince(time.Now()) costs one time read
+// when instrumented and nothing when the histogram pointer is nil-guarded.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.value() }
+
+// ExpBuckets returns n bucket bounds growing geometrically from start by
+// factor — the usual latency layout (e.g. ExpBuckets(1e-5, 4, 10) spans
+// 10µs..2.6s).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		v *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets is the default latency layout used across the repo:
+// 10µs to ~2.6s in ×4 steps. Snapshot copies, merges, and collection
+// round-trips all land inside it.
+func DefLatencyBuckets() []float64 { return ExpBuckets(1e-5, 4, 10) }
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+// sample is one exported number: an optional label set and a value read at
+// scrape time.
+type sample struct {
+	labels string // preformatted `k="v",k2="v2"`, or ""
+	value  func() float64
+}
+
+// family is one named metric family: every sample shares the name, help,
+// and type. Histograms export through their own path.
+type family struct {
+	name, help, mtype string
+	samples           []sample
+	hist              *Histogram // non-nil for histogram families
+}
+
+// Registry holds metric families and renders them on demand. Registration
+// takes a lock; reads and writes of the instruments themselves never do.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// register adds a sample to the named family, creating the family on first
+// use. Re-registering a name with a different type, or duplicating an
+// exact (name, labels) pair, is a programming error and panics.
+func (r *Registry) register(name, labels, help, mtype string, value func() float64, hist *Histogram) {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, mtype: mtype, hist: hist}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else {
+		if f.mtype != mtype {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", name, mtype, f.mtype))
+		}
+		if f.hist != nil || hist != nil {
+			panic(fmt.Sprintf("telemetry: histogram %s registered twice", name))
+		}
+	}
+	for _, s := range f.samples {
+		if s.labels == labels {
+			panic(fmt.Sprintf("telemetry: duplicate series %s{%s}", name, labels))
+		}
+	}
+	if value != nil {
+		f.samples = append(f.samples, sample{labels: labels, value: value})
+	}
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, "", help, "counter", func() float64 { return float64(c.Value()) }, nil)
+	return c
+}
+
+// CounterFunc registers a counter whose value is computed at scrape time —
+// the binding for pre-existing atomic stats (server/client/poller Stats).
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	r.register(name, "", help, "counter", f, nil)
+}
+
+// CounterFuncL is CounterFunc with a preformatted label set, e.g.
+// `shard="3"`. Multiple label sets may share one family name.
+func (r *Registry) CounterFuncL(name, labels, help string, f func() float64) {
+	r.register(name, labels, help, "counter", f, nil)
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, "", help, "gauge", func() float64 { return float64(g.Value()) }, nil)
+	return g
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.register(name, "", help, "gauge", f, nil)
+}
+
+// GaugeFuncL is GaugeFunc with a preformatted label set.
+func (r *Registry) GaugeFuncL(name, labels, help string, f func() float64) {
+	r.register(name, labels, help, "gauge", f, nil)
+}
+
+// Histogram registers and returns a new histogram over bounds (nil selects
+// DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets()
+	}
+	h := NewHistogram(bounds)
+	r.register(name, "", help, "histogram", nil, h)
+	return h
+}
+
+// ShardedCounter registers a sharded counter exporting one series per
+// shard under label `label="<i>"` plus nothing else (scrapers sum).
+func (r *Registry) ShardedCounter(name, help, label string, shards int) *ShardedCounter {
+	s := NewShardedCounter(shards)
+	for i := 0; i < s.Shards(); i++ {
+		i := i
+		r.register(name, fmt.Sprintf(`%s="%d"`, label, i), help, "counter",
+			func() float64 { return float64(s.ShardValue(i)) }, nil)
+	}
+	return s
+}
+
+// snapshotFamilies returns the family list under the lock; the families
+// themselves are append-only after registration, so rendering can walk
+// them without holding it.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*family(nil), r.families...)
+}

@@ -1,0 +1,340 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_depth", "depth")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 {
+		t.Errorf("counter %d, want 5", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Errorf("gauge %d, want 5", g.Value())
+	}
+}
+
+func TestShardedCounterConcurrent(t *testing.T) {
+	s := NewShardedCounter(4)
+	var wg sync.WaitGroup
+	const per = 10_000
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Inc(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Value() != 4*per {
+		t.Errorf("total %d, want %d", s.Value(), 4*per)
+	}
+	if s.ShardValue(2) != per {
+		t.Errorf("shard 2: %d, want %d", s.ShardValue(2), per)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 5.565; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("sum %v, want %v", got, want)
+	}
+	// Bucket occupancy: le=0.01 gets 0.005 and 0.01 (inclusive), le=0.1
+	// gets 0.05, le=1 gets 0.5, +Inf gets 5.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d: %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefLatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 20_000 {
+		t.Errorf("count %d", h.Count())
+	}
+	if got := h.Sum(); got < 19.999 || got > 20.001 {
+		t.Errorf("sum %v, want ~20", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-5, 4, 3)
+	want := []float64{1e-5, 4e-5, 16e-5}
+	for i := range want {
+		if b[i] < want[i]*0.999 || b[i] > want[i]*1.001 {
+			t.Errorf("bucket %d: %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+// promLine matches a valid exposition-format sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eE]+(Inf)?$`)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("fcm_test_ops_total", "Total ops with a \\ backslash\nand newline.")
+	c.Add(3)
+	r.GaugeFuncL("fcm_test_occupancy", `level="0"`, "Occupancy.", func() float64 { return 0.25 })
+	r.GaugeFuncL("fcm_test_occupancy", `level="1"`, "Occupancy.", func() float64 { return 0.5 })
+	h := r.Histogram("fcm_test_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(2)
+	sc := r.ShardedCounter("fcm_test_shard_total", "Per-shard.", "shard", 2)
+	sc.Add(1, 9)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var families []string
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families = append(families, strings.Fields(line)[3])
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			if strings.Contains(line, "\n") {
+				t.Errorf("unescaped newline in help: %q", line)
+			}
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid sample line: %q", line)
+		}
+	}
+	// Families in registration order: counter, gauge, histogram, counter.
+	if want := []string{"counter", "gauge", "histogram", "counter"}; strings.Join(families, ",") != strings.Join(want, ",") {
+		t.Errorf("family types %v, want %v", families, want)
+	}
+	for _, want := range []string{
+		"fcm_test_ops_total 3",
+		`fcm_test_occupancy{level="0"} 0.25`,
+		`fcm_test_occupancy{level="1"} 0.5`,
+		`fcm_test_seconds_bucket{le="0.1"} 1`,
+		`fcm_test_seconds_bucket{le="1"} 1`,
+		`fcm_test_seconds_bucket{le="+Inf"} 2`,
+		"fcm_test_seconds_count 2",
+		`fcm_test_shard_total{shard="0"} 0`,
+		`fcm_test_shard_total{shard="1"} 9`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(2)
+	h := r.Histogram("lat_seconds", "l", []float64{1})
+	h.Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out["a_total"].(float64) != 2 {
+		t.Errorf("a_total = %v", out["a_total"])
+	}
+	hist := out["lat_seconds"].(map[string]any)
+	if hist["count"].(float64) != 1 {
+		t.Errorf("hist count %v", hist["count"])
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	expectPanic("duplicate series", func() { r.Counter("dup_total", "x") })
+	expectPanic("type mismatch", func() { r.Gauge("dup_total", "x") })
+	expectPanic("bad name", func() { r.Counter("bad name", "x") })
+	expectPanic("duplicate histogram", func() {
+		r.Histogram("h_seconds", "x", nil)
+		r.Histogram("h_seconds", "x", nil)
+	})
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fcm_mux_ops_total", "ops").Add(1)
+	RegisterProcessMetrics(r)
+	RegisterBuildInfo(r, Build())
+	mux := NewMux(r, "testcomp", func() map[string]any { return map[string]any{"shards": 4} })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 ||
+		!strings.Contains(body, "fcm_mux_ops_total 1") ||
+		!strings.Contains(body, "go_goroutines") ||
+		!strings.Contains(body, "fcm_build_info") {
+		t.Errorf("/metrics: %d\n%s", code, body)
+	}
+	if _, body := get("/metrics?format=json"); !strings.Contains(body, `"fcm_mux_ops_total": 1`) {
+		t.Errorf("/metrics json:\n%s", body)
+	}
+	code, body := get("/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz: %d", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || h.Component != "testcomp" || h.Extra["shards"].(float64) != 4 {
+		t.Errorf("healthz payload: %+v", h)
+	}
+	if h.Build.GoVersion == "" {
+		t.Error("healthz missing build info")
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("/nope: %d, want 404", code)
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fcm_serve_total", "x")
+	addr, shutdown, err := Serve("127.0.0.1:0", NewMux(r, "t", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "fcm_serve_total") {
+		t.Errorf("metrics body:\n%s", body)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// The port must be released promptly after shutdown.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := http.Get("http://" + addr + "/metrics"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still responding after Close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("expected error for unknown level")
+	}
+}
+
+func TestLoggers(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelInfo, false)
+	l.Debug("hidden")
+	l.Info("shown", "k", "v")
+	if out := buf.String(); strings.Contains(out, "hidden") || !strings.Contains(out, "k=v") {
+		t.Errorf("text logger output: %q", out)
+	}
+	buf.Reset()
+	j := NewLogger(&buf, slog.LevelDebug, true)
+	j.Debug("jmsg", "n", 3)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil || rec["msg"] != "jmsg" {
+		t.Errorf("json logger output: %q (%v)", buf.String(), err)
+	}
+	// Nop must be safe and silent.
+	Nop().Error("dropped")
+	if OrNop(nil) == nil || OrNop(l) != l {
+		t.Error("OrNop contract")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" {
+		t.Error("empty GoVersion")
+	}
+	if b.String() == "" || b.Short() == "" {
+		t.Error("empty render")
+	}
+	long := BuildInfo{Revision: "0123456789abcdef", Dirty: true}
+	if got := long.Short(); got != "0123456789ab+dirty" {
+		t.Errorf("Short() = %q", got)
+	}
+}
