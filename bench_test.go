@@ -185,6 +185,64 @@ func BenchmarkIngestFCM(b *testing.B) {
 	benchIngest(b, s)
 }
 
+// BenchmarkIngestFCMPerTree is the same workload with PerTreeHash set:
+// the difference against BenchmarkIngestFCM is the hot-path saving of
+// one-pass multi-index hashing.
+func BenchmarkIngestFCMPerTree(b *testing.B) {
+	s, err := fcm.NewSketch(fcm.Config{MemoryBytes: 1 << 20, PerTreeHash: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchIngest(b, s)
+}
+
+// BenchmarkUpdateBatchFCM measures the batched ingest path per packet:
+// 256 keys per UpdateBatch call, allocation-free.
+func BenchmarkUpdateBatchFCM(b *testing.B) {
+	s, err := fcm.NewSketch(fcm.Config{MemoryBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := benchTrace(b)
+	const batch = 256
+	keys := make([][]byte, batch)
+	order := tr.Order
+	pos := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := batch
+		if left := b.N - done; left < n {
+			n = left
+		}
+		for i := 0; i < n; i++ {
+			keys[i] = tr.Keys[order[pos]].Bytes()
+			if pos++; pos == len(order) {
+				pos = 0
+			}
+		}
+		s.UpdateBatch(keys[:n], 1)
+		done += n
+	}
+}
+
+// BenchmarkReplayTraceFCM is the end-to-end replay loop (trace → batched
+// sketch ingest); ns/op is per packet and allocs/op must be 0.
+func BenchmarkReplayTraceFCM(b *testing.B) {
+	s, err := fcm.NewSketch(fcm.Config{MemoryBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := benchTrace(b)
+	r := trace.NewBatchReplayer(256)
+	r.Replay(tr, s) // warm-up: replayer buffer at capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += tr.NumPackets() {
+		r.Replay(tr, s)
+	}
+}
+
 // BenchmarkUninstrumentedUpdate / BenchmarkInstrumentedUpdate quantify the
 // telemetry plane's hot-path contract: attaching core.Stats (the atomic
 // counters behind fcm_sketch_updates_total and the promotion/saturation

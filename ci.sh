@@ -16,6 +16,20 @@ go test -race -count=1 \
   -run 'Chaos|Blackhole|AcceptLoop|MaxConns|Idle|Skipped|Retries|StalledPeer|Stop' \
   ./internal/collect/ ./internal/faultnet/
 
+# Hot-path gate, part 1: the zero-allocation contract of the batched
+# ingest path, uncached so it cannot rot behind the test cache. These
+# tests pin AllocsPerRun == 0 on core.UpdateBatch, the engine batcher,
+# trace replay (batched and unbatched) and the streaming pcap replay.
+go test -count=1 -run 'Allocs' \
+  ./internal/engine/ ./internal/trace/
+
+# Hot-path gate, part 2: bench smoke. One iteration of every ingest
+# benchmark — not a perf measurement (CI boxes are noisy), just a gate
+# that the benchmarks still compile and run, so the numbers recorded in
+# BENCH_hotpath.json stay regenerable.
+go test -run 'NOMATCH' -bench 'IngestFCM|UpdateBatchFCM|ReplayTraceFCM' \
+  -benchtime 1x .
+
 # Telemetry gate, part 1: the telemetry-plane suites race-enabled and
 # uncached — registry/export correctness, engine instrumentation, and the
 # poller health-cycle test that drives healthy->degraded->down->healthy

@@ -8,16 +8,18 @@ import "github.com/fcmsketch/fcm/internal/sketch"
 // concrete types, so a regression here is a build failure, not a runtime
 // surprise.
 var (
-	_ sketch.Sketch      = (*Sketch)(nil)
-	_ sketch.Mergeable   = (*Sketch)(nil)
-	_ sketch.Snapshotter = (*Sketch)(nil)
+	_ sketch.Sketch       = (*Sketch)(nil)
+	_ sketch.BatchUpdater = (*Sketch)(nil)
+	_ sketch.Mergeable    = (*Sketch)(nil)
+	_ sketch.Snapshotter  = (*Sketch)(nil)
 
 	_ sketch.Sketch    = (*TopKSketch)(nil)
 	_ sketch.Mergeable = (*TopKSketch)(nil)
 
-	_ sketch.Sketch      = (*Sharded)(nil)
-	_ sketch.Mergeable   = (*Sharded)(nil)
-	_ sketch.Snapshotter = (*Sharded)(nil)
+	_ sketch.Sketch       = (*Sharded)(nil)
+	_ sketch.BatchUpdater = (*Sharded)(nil)
+	_ sketch.Mergeable    = (*Sharded)(nil)
+	_ sketch.Snapshotter  = (*Sharded)(nil)
 
 	_ sketch.Updater              = (*Framework)(nil)
 	_ sketch.Estimator            = (*Framework)(nil)

@@ -62,6 +62,11 @@ type Config struct {
 	// Seed derives the hash functions; sketches with equal seeds and
 	// geometry are mergeable snapshots of each other.
 	Seed uint32
+	// PerTreeHash forces one independent hash evaluation per tree instead
+	// of the default one-pass mode, which derives every tree's index from
+	// a single two-lane hash of the key. The modes place counters
+	// differently, so sketches built in different modes do not merge.
+	PerTreeHash bool
 }
 
 // withDefaults fills zero fields with the paper's defaults. Widths is
@@ -91,6 +96,7 @@ func (c Config) coreConfig() core.Config {
 		MemoryBytes: c.MemoryBytes,
 		LeafWidth:   c.LeafWidth,
 		Hash:        hashing.NewBobFamily(0xfc3141 ^ c.Seed),
+		PerTreeHash: c.PerTreeHash,
 	}
 }
 
@@ -116,6 +122,11 @@ func NewSketch(cfg Config) (*Sketch, error) {
 // Update records inc occurrences of key (1 for packet counting, the byte
 // count for volume counting).
 func (s *Sketch) Update(key []byte, inc uint64) { s.s.Update(key, inc) }
+
+// UpdateBatch records inc occurrences of every key in keys, equivalent to
+// calling Update once per key but with per-call overheads amortized across
+// the batch. Key slices are not retained; callers may reuse the buffers.
+func (s *Sketch) UpdateBatch(keys [][]byte, inc uint64) { s.s.UpdateBatch(keys, inc) }
 
 // Estimate returns the count-query estimate for key. The estimate is
 // one-sided: it never underestimates (Theorem 5.1 bounds the excess).
@@ -195,7 +206,7 @@ func (s *Sketch) SnapshotEstimator() sketch.Estimator { return s.Snapshot() }
 func configsEqual(a, b Config) bool {
 	if a.MemoryBytes != b.MemoryBytes || a.LeafWidth != b.LeafWidth ||
 		a.K != b.K || a.Trees != b.Trees || a.Seed != b.Seed ||
-		len(a.Widths) != len(b.Widths) {
+		a.PerTreeHash != b.PerTreeHash || len(a.Widths) != len(b.Widths) {
 		return false
 	}
 	for i := range a.Widths {

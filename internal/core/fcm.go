@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync/atomic"
 
 	"github.com/fcmsketch/fcm/internal/hashing"
@@ -85,6 +86,13 @@ type Config struct {
 	// design intuition #2 argues the max-value marker is strictly better;
 	// this option exists for the ablation experiment that verifies it.
 	FlagBitIndicator bool
+	// PerTreeHash forces one independent hash evaluation per tree (the
+	// pre-one-pass behavior), even when Hash supports deriving all tree
+	// indexes from a single pass (hashing.WideFamily). Counter placement
+	// differs between the two modes, so sketches are only mergeable with
+	// sketches of the same mode; the default (one-pass, when available) is
+	// faster and statistically equivalent.
+	PerTreeHash bool
 	// Conservative enables conservative-update semantics across trees
 	// (Estan & Varghese [26], generalized to FCM): on update, only trees
 	// whose current count query falls below min+inc are raised, and only
@@ -99,14 +107,35 @@ type Config struct {
 // DefaultWidths is the paper's byte-aligned stage layout.
 func DefaultWidths() []int { return []int{8, 16, 32} }
 
-// tree is a single k-ary FCM tree.
+// tree is a single k-ary FCM tree. All stages live in one contiguous
+// counter slab (leaves first), with per-stage views aliasing into it: the
+// update walk from a leaf to the root touches one small region of one
+// allocation instead of chasing per-stage slice headers.
 type tree struct {
 	k      int
-	stages [][]uint32 // node values per stage
+	kshift uint       // log2(K) when K is a power of two; the parent step is then a shift
+	w0     int        // leaf-stage width, denormalized for the hot walk
+	slab   []uint32   // every stage's nodes, contiguous, leaves first
+	lims   []limits   // per-stage mark+max pairs: one bounds check per level in the hot walk
+	stages [][]uint32 // per-stage views into slab (cold paths: merge, conversion, collection)
 	max    []uint32   // counting capacity per stage: 2^b − 2
 	mark   []uint32   // overflow marker per stage: 2^b − 1
 	hasher hashing.Hasher
 	stats  *Stats // shared with the owning Sketch; nil = uninstrumented
+}
+
+// limits pairs a stage's overflow marker with its counting capacity so the
+// hot walk reads both with a single slice access.
+type limits struct {
+	mark, max uint32
+}
+
+// parent returns the stage-(l+1) index of leaf-walk index idx.
+func (t *tree) parent(idx int) int {
+	if t.kshift != 0 {
+		return idx >> t.kshift
+	}
+	return idx / t.k
 }
 
 // Sketch is a (possibly multi-tree) FCM-Sketch.
@@ -116,7 +145,12 @@ type Sketch struct {
 	widths       []int
 	w1           int
 	conservative bool
-	stats        *Stats // nil = uninstrumented
+	// wide, when non-nil, selects one-pass multi-index hashing: a single
+	// lookup3 pass per packet yields every tree's leaf index (the concrete
+	// type devirtualizes the per-packet hash call). nil falls back to one
+	// hasher evaluation per tree.
+	wide  *hashing.BobWide
+	stats *Stats // nil = uninstrumented
 }
 
 // New builds an FCM-Sketch from cfg.
@@ -173,11 +207,28 @@ func New(cfg Config) (*Sketch, error) {
 	// Copy widths so a caller mutating its Config slice after New cannot
 	// corrupt the sketch geometry.
 	s := &Sketch{k: cfg.K, widths: append([]int(nil), widths...), w1: w1, conservative: cfg.Conservative}
+	if !cfg.PerTreeHash {
+		if wf, ok := fam.(hashing.WideFamily); ok {
+			s.wide = wf.Wide()
+		}
+	}
+	var kshift uint
+	if cfg.K&(cfg.K-1) == 0 {
+		kshift = uint(bits.TrailingZeros(uint(cfg.K)))
+	}
 	for t := 0; t < cfg.Trees; t++ {
-		tr := &tree{k: cfg.K, hasher: fam.New(t)}
+		tr := &tree{k: cfg.K, kshift: kshift, hasher: fam.New(t)}
+		total := 0
 		w := w1
+		for range widths {
+			total += w
+			w /= cfg.K
+		}
+		tr.slab = make([]uint32, total)
+		w, off := w1, 0
 		for _, b := range widths {
-			tr.stages = append(tr.stages, make([]uint32, w))
+			tr.stages = append(tr.stages, tr.slab[off:off+w:off+w])
+			off += w
 			if cfg.FlagBitIndicator {
 				// Counting bits: b−1; the marker position stands in
 				// for the dedicated flag bit.
@@ -191,10 +242,20 @@ func New(cfg Config) (*Sketch, error) {
 			}
 			w /= cfg.K
 		}
+		tr.w0 = w1
+		for l := range tr.mark {
+			tr.lims = append(tr.lims, limits{mark: tr.mark[l], max: tr.max[l]})
+		}
 		s.trees = append(s.trees, tr)
 	}
 	return s, nil
 }
+
+// OnePassHash reports whether the sketch derives all tree indexes from a
+// single hash pass (the default with a hashing.WideFamily such as
+// BobFamily) rather than evaluating one hash per tree. The two modes place
+// counters differently and are therefore not mergeable with each other.
+func (s *Sketch) OnePassHash() bool { return s.wide != nil }
 
 // solveLeafWidth computes the largest w1 (multiple of k^(depth−1)) whose
 // full tree fits the per-tree byte budget.
@@ -228,9 +289,102 @@ func (s *Sketch) Update(key []byte, inc uint64) {
 		s.updateConservative(key, inc)
 		return
 	}
-	for _, t := range s.trees {
-		t.update(key, inc)
+	if w := s.wide; w != nil {
+		// One hash pass for all trees; indexes derive from its two lanes.
+		pc, pb := w.Pair(key)
+		if ts := s.trees; len(ts) == 2 {
+			// The paper's default shape, with the lane derivations
+			// inlined (WideIndex itself is over the inlining budget).
+			ts[0].updateAt(hashing.WideIndex0(pc, pb, s.w1), inc)
+			ts[1].updateAt(hashing.WideIndex1(pc, pb, s.w1), inc)
+			return
+		}
+		for i, t := range s.trees {
+			t.updateAt(hashing.WideIndex(pc, pb, i, s.w1), inc)
+		}
+		return
 	}
+	for _, t := range s.trees {
+		t.updateAt(t.leafIndex(key), inc)
+	}
+}
+
+// UpdateBatch implements sketch.BatchUpdater: it records inc occurrences
+// of every key in keys, equivalent to (but cheaper than) one Update call
+// per key. Batching amortizes the per-call overhead — the stats check, the
+// conservative/wide dispatch, and the interface call the caller paid to
+// reach the sketch — and keeps keys cache-hot across the per-tree walks.
+// It performs no allocation.
+func (s *Sketch) UpdateBatch(keys [][]byte, inc uint64) {
+	if inc == 0 || len(keys) == 0 {
+		return
+	}
+	if s.stats != nil {
+		s.stats.Updates.Add(uint64(len(keys)))
+	}
+	if s.conservative && len(s.trees) > 1 {
+		for _, key := range keys {
+			s.updateConservative(key, inc)
+		}
+		return
+	}
+	if w := s.wide; w != nil {
+		if ts := s.trees; len(ts) == 2 {
+			t0, t1, w1 := ts[0], ts[1], s.w1
+			for _, key := range keys {
+				pc, pb := w.Pair(key)
+				t0.updateAt(hashing.WideIndex0(pc, pb, w1), inc)
+				t1.updateAt(hashing.WideIndex1(pc, pb, w1), inc)
+			}
+			return
+		}
+		for _, key := range keys {
+			pc, pb := w.Pair(key)
+			for i, t := range s.trees {
+				t.updateAt(hashing.WideIndex(pc, pb, i, s.w1), inc)
+			}
+		}
+		return
+	}
+	for _, key := range keys {
+		for _, t := range s.trees {
+			t.updateAt(t.leafIndex(key), inc)
+		}
+	}
+}
+
+// leafIndex returns the per-tree-hash leaf index for key (the fallback
+// when one-pass wide hashing is unavailable or disabled).
+func (t *tree) leafIndex(key []byte) int {
+	return hashing.Reduce(t.hasher.Hash(key), len(t.stages[0]))
+}
+
+// leafIndexes fills dst (length = number of trees) with every tree's leaf
+// index for key, using one wide pass when available.
+func (s *Sketch) leafIndexes(key []byte, dst []int) {
+	if w := s.wide; w != nil {
+		pc, pb := w.Pair(key)
+		for i := range dst {
+			dst[i] = hashing.WideIndex(pc, pb, i, s.w1)
+		}
+		return
+	}
+	for i, t := range s.trees {
+		dst[i] = t.leafIndex(key)
+	}
+}
+
+// treeIndexes returns every tree's leaf index for key, on the stack for
+// the common tree counts.
+func (s *Sketch) treeIndexes(key []byte, buf *[8]int) []int {
+	var idxs []int
+	if d := len(s.trees); d <= len(buf) {
+		idxs = buf[:d]
+	} else {
+		idxs = make([]int, d)
+	}
+	s.leafIndexes(key, idxs)
+	return idxs
 }
 
 // updateConservative raises each tree's count query only up to
@@ -238,78 +392,116 @@ func (s *Sketch) Update(key []byte, inc uint64) {
 // one-sided (it never drops below the true count) because the minimum tree
 // was a valid overestimate before the update and gains the full increment.
 func (s *Sketch) updateConservative(key []byte, inc uint64) {
+	var buf [8]int
+	idxs := s.treeIndexes(key, &buf)
 	min := uint64(math.MaxUint64)
-	for _, t := range s.trees {
-		if v := t.query(key); v < min {
+	for i, t := range s.trees {
+		if v := t.queryAt(idxs[i]); v < min {
 			min = v
 		}
 	}
 	target := min + inc
-	for _, t := range s.trees {
-		if cur := t.query(key); cur < target {
-			t.update(key, target-cur)
+	for i, t := range s.trees {
+		if cur := t.queryAt(idxs[i]); cur < target {
+			t.updateAt(idxs[i], target-cur)
 		}
 	}
 }
 
-func (t *tree) update(key []byte, inc uint64) {
-	idx := hashing.Reduce(t.hasher.Hash(key), len(t.stages[0]))
-	last := len(t.stages) - 1
+// updateAt runs Algorithm 1's leaf-to-root walk from leaf index idx. The
+// walk addresses the contiguous slab through precomputed stage bases, and
+// the idx/K parent step is a shift whenever K is a power of two (the
+// paper's K=8/16 always is).
+func (t *tree) updateAt(idx int, inc uint64) {
+	slab, lims := t.slab, t.lims
+	kshift := t.kshift
+	last := len(lims) - 1
+	base := 0
+	width := t.w0
 	rem := inc
-	for l := 0; ; l++ {
-		v := t.stages[l][idx]
-		if l == last {
-			// Final stage: saturate at the counting capacity.
-			sum := uint64(v) + rem
-			if sum > uint64(t.max[l]) {
-				sum = uint64(t.max[l])
-				if t.stats != nil {
-					t.stats.Saturations.Add(1)
-				}
-			}
-			t.stages[l][idx] = uint32(sum)
-			return
-		}
-		if v != t.mark[l] {
-			capacity := uint64(t.max[l] - v)
+	// Non-root stages; the root is peeled out of the loop because it
+	// saturates instead of promoting.
+	for l := 0; l < last; l++ {
+		j := base + idx
+		v := slab[j]
+		if lim := lims[l]; v != lim.mark {
+			capacity := uint64(lim.max - v)
 			if rem <= capacity {
-				t.stages[l][idx] = v + uint32(rem)
+				slab[j] = v + uint32(rem)
 				return
 			}
-			t.stages[l][idx] = t.mark[l]
+			slab[j] = lim.mark
 			rem -= capacity
 			if t.stats != nil {
 				t.stats.Promotions[l].Add(1)
 			}
 		}
-		idx /= t.k
+		base += width
+		if kshift != 0 {
+			idx >>= kshift
+			width >>= kshift
+		} else {
+			idx /= t.k
+			width /= t.k
+		}
 	}
+	// Root stage: saturate at the counting capacity.
+	j := base + idx
+	sum := uint64(slab[j]) + rem
+	if mx := uint64(lims[last].max); sum > mx {
+		sum = mx
+		if t.stats != nil {
+			t.stats.Saturations.Add(1)
+		}
+	}
+	slab[j] = uint32(sum)
 }
 
 // Estimate implements sketch.Estimator: the count query of §3.2, minimized
 // over trees.
 func (s *Sketch) Estimate(key []byte) uint64 {
 	min := uint64(math.MaxUint64)
+	if w := s.wide; w != nil {
+		pc, pb := w.Pair(key)
+		for i, t := range s.trees {
+			if v := t.queryAt(hashing.WideIndex(pc, pb, i, s.w1)); v < min {
+				min = v
+			}
+		}
+		return min
+	}
 	for _, t := range s.trees {
-		if v := t.query(key); v < min {
+		if v := t.queryAt(t.leafIndex(key)); v < min {
 			min = v
 		}
 	}
 	return min
 }
 
-func (t *tree) query(key []byte) uint64 {
-	idx := hashing.Reduce(t.hasher.Hash(key), len(t.stages[0]))
-	last := len(t.stages) - 1
+// queryAt answers the count query of §3.2 from leaf index idx, walking the
+// slab like updateAt.
+func (t *tree) queryAt(idx int) uint64 {
+	slab, lims := t.slab, t.lims
+	kshift := t.kshift
+	last := len(lims) - 1
+	base := 0
+	width := t.w0
 	est := uint64(0)
 	for l := 0; ; l++ {
-		v := t.stages[l][idx]
-		if l == last || v != t.mark[l] {
+		v := slab[base+idx]
+		if l == last || v != lims[l].mark {
 			est += uint64(v)
 			return est
 		}
-		est += uint64(t.max[l])
-		idx /= t.k
+		est += uint64(lims[l].max)
+		base += width
+		if kshift != 0 {
+			idx >>= kshift
+			width >>= kshift
+		} else {
+			idx /= t.k
+			width /= t.k
+		}
 	}
 }
 
@@ -354,11 +546,7 @@ func (s *Sketch) MemoryBytes() int {
 // Reset implements sketch.Resettable.
 func (s *Sketch) Reset() {
 	for _, t := range s.trees {
-		for _, st := range t.stages {
-			for i := range st {
-				st[i] = 0
-			}
-		}
+		clear(t.slab)
 	}
 }
 
@@ -374,16 +562,24 @@ func (s *Sketch) Clone() *Sketch {
 		widths:       append([]int(nil), s.widths...),
 		w1:           s.w1,
 		conservative: s.conservative,
+		wide:         s.wide, // stateless after construction, like hashers
 	}
 	for _, t := range s.trees {
 		ct := &tree{
 			k:      t.k,
+			kshift: t.kshift,
+			w0:     t.w0,
+			slab:   append([]uint32(nil), t.slab...),
+			lims:   append([]limits(nil), t.lims...),
 			max:    append([]uint32(nil), t.max...),
 			mark:   append([]uint32(nil), t.mark...),
 			hasher: t.hasher,
 		}
+		off := 0
 		for _, st := range t.stages {
-			ct.stages = append(ct.stages, append([]uint32(nil), st...))
+			w := len(st)
+			ct.stages = append(ct.stages, ct.slab[off:off+w:off+w])
+			off += w
 		}
 		c.trees = append(c.trees, ct)
 	}

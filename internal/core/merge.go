@@ -97,5 +97,15 @@ func (s *Sketch) compatible(o *Sketch) error {
 			return fmt.Errorf("core: merge encoding mismatch (flag-bit vs marker)")
 		}
 	}
+	// One-pass and per-tree hashing place counters differently, and two
+	// wide hashers only agree when their seeds do. (Per-tree hasher
+	// equality remains unverifiable, as documented above.)
+	sw, ow := s.wide, o.wide
+	switch {
+	case (sw == nil) != (ow == nil):
+		return fmt.Errorf("core: merge hash-mode mismatch (one-pass vs per-tree)")
+	case sw != nil && sw.Seed() != ow.Seed():
+		return fmt.Errorf("core: merge hash-seed mismatch")
+	}
 	return nil
 }

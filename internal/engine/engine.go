@@ -124,6 +124,23 @@ func (e *Engine) UpdateShard(i int, key []byte, inc uint64) {
 	sh.mu.Unlock()
 }
 
+// UpdateShardBatch records inc occurrences of every key in keys on shard
+// i under ONE lock acquisition. For shard-owning writers this amortizes
+// the mutex and the sketch's per-call setup across the whole batch, which
+// is the engine-level half of the zero-alloc batched replay path. The
+// shard generation advances by len(keys) so Generation still counts
+// updates, not calls.
+func (e *Engine) UpdateShardBatch(i int, keys [][]byte, inc uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	sh := &e.shards[i]
+	sh.mu.Lock()
+	sh.sk.UpdateBatch(keys, inc)
+	sh.gen.Add(uint64(len(keys)))
+	sh.mu.Unlock()
+}
+
 // MergeShard folds o — which must share the shards' geometry and hash
 // functions — into shard i under that shard's lock. The caller keeps
 // ownership of o. Because FCM's merge is exact, this is equivalent to
@@ -137,6 +154,75 @@ func (e *Engine) MergeShard(i int, o *core.Sketch) error {
 	}
 	sh.gen.Add(1)
 	return nil
+}
+
+// Batcher accumulates keys per shard and flushes each shard's pending
+// batch with a single UpdateShardBatch call once it reaches the batch
+// size. Key bytes are copied into a per-shard arena on Add — the caller
+// may reuse its buffer immediately (the pcap reader does) — and both the
+// arena and the key-view slice are recycled across flushes, so a warmed-up
+// Batcher adds and flushes without allocating. A Batcher is single-writer:
+// use one per ingesting goroutine.
+type Batcher struct {
+	e     *Engine
+	inc   uint64
+	batch int
+	keys  [][][]byte // per-shard views into arena, reused across flushes
+	arena [][]byte   // per-shard copied key bytes, reused across flushes
+}
+
+// NewBatcher returns a Batcher that applies increment inc per key and
+// flushes a shard after batch keys (default 256).
+func (e *Engine) NewBatcher(batch int, inc uint64) *Batcher {
+	if batch <= 0 {
+		batch = 256
+	}
+	b := &Batcher{
+		e:     e,
+		inc:   inc,
+		batch: batch,
+		keys:  make([][][]byte, len(e.shards)),
+		arena: make([][]byte, len(e.shards)),
+	}
+	for i := range b.keys {
+		b.keys[i] = make([][]byte, 0, batch)
+	}
+	return b
+}
+
+// Add buffers key for its key-affinity shard, flushing that shard's batch
+// if it is full.
+func (b *Batcher) Add(key []byte) {
+	b.AddShard(b.e.ShardOf(key), key)
+}
+
+// AddShard buffers key for shard i — the shard-ownership analogue of Add.
+func (b *Batcher) AddShard(i int, key []byte) {
+	a := b.arena[i]
+	start := len(a)
+	a = append(a, key...)
+	b.arena[i] = a
+	b.keys[i] = append(b.keys[i], a[start:len(a):len(a)])
+	if len(b.keys[i]) >= b.batch {
+		b.flushShard(i)
+	}
+}
+
+func (b *Batcher) flushShard(i int) {
+	if len(b.keys[i]) == 0 {
+		return
+	}
+	b.e.UpdateShardBatch(i, b.keys[i], b.inc)
+	b.keys[i] = b.keys[i][:0]
+	b.arena[i] = b.arena[i][:0]
+}
+
+// Flush drains every shard's pending batch. Call it at end of stream —
+// keys since the last full batch are not in the engine until flushed.
+func (b *Batcher) Flush() {
+	for i := range b.keys {
+		b.flushShard(i)
+	}
 }
 
 // Generation returns a counter that increases with every update on any

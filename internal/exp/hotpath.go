@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/fcmsketch/fcm"
+	"github.com/fcmsketch/fcm/internal/trace"
+)
+
+// RunHotpath measures the ingest hot path end to end: per-tree vs one-pass
+// index derivation, unbatched vs batched replay, and the engine-level
+// shard batcher. All variants ingest the same CAIDA-like trace into
+// identically-sized sketches, so the Mpps column isolates the cost of the
+// path, not the workload. Options.HashMode narrows the hash modes run
+// ("onepass", "pertree", default "both"); Options.BatchSize sets the batch
+// (default 256).
+func RunHotpath(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	tr, err := o.caidaTrace()
+	if err != nil {
+		return nil, err
+	}
+	mem := o.MemoryBytes()
+	batch := o.BatchSize
+	if batch <= 0 {
+		batch = 256
+	}
+	mode := o.HashMode
+	if mode == "" {
+		mode = "both"
+	}
+	if mode != "both" && mode != "onepass" && mode != "pertree" {
+		return nil, fmt.Errorf("hotpath: unknown hash mode %q (onepass, pertree, both)", mode)
+	}
+
+	build := func(perTree bool) (*fcm.Sketch, error) {
+		return fcm.NewSketch(fcm.Config{
+			MemoryBytes: mem,
+			Seed:        uint32(o.Seed),
+			PerTreeHash: perTree,
+		})
+	}
+
+	t := &Table{ID: "hotpath", Title: "Ingest hot path (million packets/sec)",
+		PaperNote: "one-pass dual-lane hashing + flat slabs + batching; same trace, same geometry",
+		Headers:   []string{"variant", "Mpps"}}
+	run := func(name string, replay func() error) error {
+		start := time.Now()
+		if err := replay(); err != nil {
+			return err
+		}
+		sec := time.Since(start).Seconds()
+		t.AddRow(name, float64(tr.NumPackets())/sec/1e6)
+		o.logf("hotpath: %s done", name)
+		return nil
+	}
+
+	if mode != "onepass" {
+		sk, err := build(true)
+		if err != nil {
+			return nil, err
+		}
+		if err := run("per-tree unbatched", func() error { tr.Replay(sk); return nil }); err != nil {
+			return nil, err
+		}
+	}
+	if mode != "pertree" {
+		sk, err := build(false)
+		if err != nil {
+			return nil, err
+		}
+		if err := run("one-pass unbatched", func() error { tr.Replay(sk); return nil }); err != nil {
+			return nil, err
+		}
+
+		bsk, err := build(false)
+		if err != nil {
+			return nil, err
+		}
+		br := trace.NewBatchReplayer(batch)
+		br.Replay(tr, bsk) // warm-up outside the timed run
+		bsk.Reset()
+		if err := run(fmt.Sprintf("one-pass batched(%d)", batch), func() error {
+			br.Replay(tr, bsk)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+
+		sh, err := fcm.NewSharded(fcm.Config{MemoryBytes: mem, Seed: uint32(o.Seed)}, 1)
+		if err != nil {
+			return nil, err
+		}
+		b := sh.Engine().NewBatcher(batch, 1)
+		if err := run(fmt.Sprintf("engine batcher(%d)", batch), func() error {
+			tr.ForEachPacket(func(_ int, key []byte) { b.AddShard(0, key) })
+			b.Flush()
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return []*Table{t}, nil
+}

@@ -36,6 +36,7 @@ var registry = map[string]Experiment{
 	"speed":    {"speed", "Single-core ingest throughput of every structure", RunSpeed},
 	"shardedspeed": {"shardedspeed", "Multi-writer sharded ingest throughput + exact-merge check", RunShardedSpeed},
 	"telemetry":    {"telemetry", "Ingest throughput overhead of sketch self-telemetry (≤5% contract)", RunTelemetryOverhead},
+	"hotpath":      {"hotpath", "Ingest hot path: one-pass vs per-tree hashing, batched vs unbatched", RunHotpath},
 }
 
 // Lookup returns the experiment with the given ID.

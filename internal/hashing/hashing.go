@@ -9,7 +9,10 @@
 // experiment in the repository is reproducible.
 package hashing
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // Hasher is a seeded hash function over byte strings. Implementations must
 // be safe for concurrent use (they are stateless after construction).
@@ -148,11 +151,82 @@ func lookup3(key []byte, pc, pb uint32) (uint32, uint32) {
 	case 0:
 		return c, b
 	}
-	if len(tail) == 8 || len(tail) == 4 {
-		// Word-aligned tails fall through to final like any other.
-	}
 	a, b, c = final(a, b, c)
 	return c, b
+}
+
+// BobWide is the one-pass multi-index hasher: a single lookup3 pass
+// (hashlittle2) yields two independent 32-bit lanes, from which the leaf
+// indexes of every tree of a multi-tree sketch are derived without hashing
+// the key again. It is the hot-path replacement for d separate BobHash
+// evaluations; see WideIndex for the (pinned) derivation.
+type BobWide struct {
+	seed uint32
+}
+
+// NewBobWide returns a one-pass wide hasher with the given seed.
+func NewBobWide(seed uint32) *BobWide { return &BobWide{seed: seed} }
+
+// Seed returns the seed, so sketch compatibility checks can verify two
+// wide hashers place counters identically.
+func (w *BobWide) Seed() uint32 { return w.seed }
+
+// Pair returns the two 32-bit lookup3 lanes for key. This is the single
+// hash pass all per-tree indexes derive from.
+func (w *BobWide) Pair(key []byte) (pc, pb uint32) {
+	return lookup3(key, w.seed, w.seed)
+}
+
+// Hash implements Hasher with the same value a Bob of the same seed
+// returns, so a BobWide doubles as the tree-0 hasher.
+func (w *BobWide) Hash(key []byte) uint64 {
+	pc, pb := lookup3(key, w.seed, w.seed)
+	return uint64(pc)<<32 | uint64(pb)
+}
+
+// WideIndex derives tree i's leaf index in [0, n) from the two lookup3
+// lanes of one Pair call. The derivation is a stable contract (counter
+// placement on the wire and in snapshots depends on it; a golden test pins
+// it):
+//
+//   - tree 0 reduces pc‖pb — identical to Bob.Hash, so single-tree sketches
+//     are unchanged by the one-pass path;
+//   - tree 1 reduces pb‖pc, using the second independent lane for the
+//     index-deciding high bits (d ≤ 2, the paper's default, costs no extra
+//     mixing);
+//   - trees ≥ 2 reduce a splitmix64 expansion of the 64-bit pair, keyed by
+//     the tree number, which decorrelates any number of further trees.
+func WideIndex(pc, pb uint32, i, n int) int {
+	if i == 0 {
+		return WideIndex0(pc, pb, n)
+	}
+	if i == 1 {
+		return WideIndex1(pc, pb, n)
+	}
+	return wideIndexDeep(pc, pb, i, n)
+}
+
+// WideIndex0 and WideIndex1 are the d ≤ 2 lanes of WideIndex, split out
+// so they inline into sketch update loops (WideIndex itself is over the
+// inlining budget).
+func WideIndex0(pc, pb uint32, n int) int { return Reduce(uint64(pc)<<32|uint64(pb), n) }
+
+// WideIndex1 is tree 1's lane; see WideIndex0.
+func WideIndex1(pc, pb uint32, n int) int { return Reduce(uint64(pb)<<32|uint64(pc), n) }
+
+func wideIndexDeep(pc, pb uint32, i, n int) int {
+	state := (uint64(pc)<<32 | uint64(pb)) ^ uint64(i)*0x9e3779b97f4a7c15
+	return Reduce(splitmix64(&state), n)
+}
+
+// WideFamily is implemented by hash families whose d member functions can
+// be evaluated with a single pass over the key. Sketches detect it to
+// switch to one-pass multi-index hashing.
+type WideFamily interface {
+	Family
+	// Wide returns the one-pass hasher whose WideIndex derivations stand
+	// in for the family's members.
+	Wide() *BobWide
 }
 
 // BobFamily is a Family of BobHash functions derived from a base seed.
@@ -174,6 +248,13 @@ func (f *BobFamily) New(i int) Hasher {
 	return NewBob(pc)
 }
 
+// Wide implements WideFamily: the whole family collapses to one lookup3
+// pass seeded like member 0, with per-tree indexes derived via WideIndex.
+func (f *BobFamily) Wide() *BobWide {
+	b := f.New(0).(*Bob)
+	return NewBobWide(b.seed)
+}
+
 // ---------------------------------------------------------------------------
 // Murmur3 (32-bit)
 // ---------------------------------------------------------------------------
@@ -187,12 +268,16 @@ type Murmur3 struct {
 func NewMurmur3(seed uint32) *Murmur3 { return &Murmur3{seed: seed} }
 
 // Sum32 returns the 32-bit Murmur3 hash of key.
-func (m *Murmur3) Sum32(key []byte) uint32 {
+func (m *Murmur3) Sum32(key []byte) uint32 { return murmur3Sum32(m.seed, key) }
+
+// murmur3Sum32 is the seed-parameterized core, so the 64-bit Hash can run
+// its decorrelated second pass without constructing a throwaway instance.
+func murmur3Sum32(seed uint32, key []byte) uint32 {
 	const (
 		c1 = 0xcc9e2d51
 		c2 = 0x1b873593
 	)
-	h := m.seed
+	h := seed
 	n := len(key)
 	i := 0
 	for ; i+4 <= n; i += 4 {
@@ -231,8 +316,8 @@ func (m *Murmur3) Sum32(key []byte) uint32 {
 // Hash implements Hasher. Two passes with decorrelated seeds produce a
 // 64-bit result.
 func (m *Murmur3) Hash(key []byte) uint64 {
-	lo := m.Sum32(key)
-	hi := (&Murmur3{seed: m.seed ^ 0x9e3779b9}).Sum32(key)
+	lo := murmur3Sum32(m.seed, key)
+	hi := murmur3Sum32(m.seed^0x9e3779b9, key)
 	return uint64(hi)<<32 | uint64(lo)
 }
 
@@ -407,25 +492,6 @@ func Splitmix64(state *uint64) uint64 { return splitmix64(state) }
 // Reduce maps a 64-bit hash onto [0, n) without modulo bias using the
 // fixed-point multiply trick. n must be > 0.
 func Reduce(h uint64, n int) int {
-	// Multiply the high 32 bits and the low 32 bits separately to keep
-	// full 64-bit precision without resorting to math/bits.
-	hi, _ := mul64(h, uint64(n))
+	hi, _ := bits.Mul64(h, uint64(n))
 	return int(hi)
-}
-
-// mul64 returns the 128-bit product of x and y as (hi, lo).
-func mul64(x, y uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	x0 := x & mask32
-	x1 := x >> 32
-	y0 := y & mask32
-	y1 := y >> 32
-	w0 := x0 * y0
-	t := x1*y0 + w0>>32
-	w1 := t & mask32
-	w2 := t >> 32
-	w1 += x0 * y1
-	hi = x1*y1 + w2 + w1>>32
-	lo = x * y
-	return hi, lo
 }

@@ -3,6 +3,7 @@ package hashing
 import (
 	"encoding/binary"
 	"math"
+	"math/big"
 	"testing"
 	"testing/quick"
 )
@@ -203,20 +204,21 @@ func TestReduceCoversAllBuckets(t *testing.T) {
 	}
 }
 
-func TestMul64(t *testing.T) {
+func TestReduceMatchesWideMultiply(t *testing.T) {
+	// Reduce(h, n) is ⌊h·n/2⁶⁴⌋; check against a big.Int reference.
 	cases := []struct {
-		x, y, hi, lo uint64
+		h uint64
+		n int
 	}{
-		{0, 0, 0, 0},
-		{1, 1, 0, 1},
-		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
-		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
-		{1 << 32, 1 << 32, 1, 0},
+		{0, 1}, {1, 1}, {math.MaxUint64, 7}, {math.MaxUint64, 1 << 20},
+		{0x9e3779b97f4a7c15, 1000}, {1 << 63, 2}, {1<<63 - 1, 3},
 	}
+	shift := new(big.Int).Lsh(big.NewInt(1), 64)
 	for _, c := range cases {
-		hi, lo := mul64(c.x, c.y)
-		if hi != c.hi || lo != c.lo {
-			t.Errorf("mul64(%x,%x) = (%x,%x), want (%x,%x)", c.x, c.y, hi, lo, c.hi, c.lo)
+		ref := new(big.Int).SetUint64(c.h)
+		ref.Mul(ref, big.NewInt(int64(c.n))).Div(ref, shift)
+		if got := Reduce(c.h, c.n); int64(got) != ref.Int64() {
+			t.Errorf("Reduce(%x, %d) = %d, want %d", c.h, c.n, got, ref.Int64())
 		}
 	}
 }

@@ -1,0 +1,209 @@
+package hashing
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// TestWideMatchesBobTree0 pins the d≤1 compatibility property: tree 0 of
+// the one-pass derivation is exactly Bob.Hash of the same seed, so
+// single-tree sketches place counters identically in both hash modes.
+func TestWideMatchesBobTree0(t *testing.T) {
+	w := NewBobWide(4242)
+	b := NewBob(4242)
+	var k [8]byte
+	for i := 0; i < 1000; i++ {
+		binary.LittleEndian.PutUint64(k[:], uint64(i)*0x9e3779b97f4a7c15)
+		for _, n := range []int{64, 1000, 1 << 16} {
+			pc, pb := w.Pair(k[:])
+			if got, want := WideIndex(pc, pb, 0, n), Reduce(b.Hash(k[:]), n); got != want {
+				t.Fatalf("key %d n %d: wide tree-0 index %d != bob index %d", i, n, got, want)
+			}
+		}
+	}
+}
+
+// TestWideFamilySeed checks that BobFamily.Wide derives its seed like
+// family member 0, so the wide path and the per-tree path agree on tree 0.
+func TestWideFamilySeed(t *testing.T) {
+	f := NewBobFamily(0xfc3141)
+	w := f.Wide()
+	b := f.New(0).(*Bob)
+	key := []byte("10.1.2.3")
+	if w.Hash(key) != b.Hash(key) {
+		t.Fatal("BobFamily.Wide disagrees with family member 0")
+	}
+	if w.Seed() != b.seed {
+		t.Fatalf("wide seed %x != member-0 seed %x", w.Seed(), b.seed)
+	}
+}
+
+// TestWideIndexUniformity chi-squared-tests each tree's index stream over
+// the leaf slots: the one-pass derivation must be as uniform as a full
+// independent hash per tree.
+func TestWideIndexUniformity(t *testing.T) {
+	const keys = 1 << 16
+	const buckets = 64
+	w := NewBobWide(12345)
+	for tree := 0; tree < 4; tree++ {
+		var counts [buckets]int
+		var k [8]byte
+		for i := 0; i < keys; i++ {
+			binary.LittleEndian.PutUint64(k[:], uint64(i))
+			pc, pb := w.Pair(k[:])
+			counts[WideIndex(pc, pb, tree, buckets)]++
+		}
+		expected := float64(keys) / buckets
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// 63 degrees of freedom: mean 63, stddev ~11.2. Same loose bound
+		// as TestUniformity — catches broken derivations only.
+		if chi2 > 200 {
+			t.Errorf("tree %d: chi-squared %f too high, indexes not uniform", tree, chi2)
+		}
+	}
+}
+
+// TestWidePairwiseIndependence chi-squared-tests the joint distribution of
+// every tree-index pair on a coarse grid: if two trees' indexes were
+// correlated (the risk of deriving both from one hash pass), the joint
+// counts would deviate from the product of the marginals.
+func TestWidePairwiseIndependence(t *testing.T) {
+	const keys = 1 << 16
+	const g = 16 // g×g joint cells per pair
+	const n = 1024
+	w := NewBobWide(777)
+	const trees = 4
+	idx := make([][]int, trees)
+	for ti := range idx {
+		idx[ti] = make([]int, keys)
+	}
+	var k [8]byte
+	for i := 0; i < keys; i++ {
+		binary.LittleEndian.PutUint64(k[:], uint64(i))
+		pc, pb := w.Pair(k[:])
+		for ti := 0; ti < trees; ti++ {
+			idx[ti][i] = WideIndex(pc, pb, ti, n)
+		}
+	}
+	for a := 0; a < trees; a++ {
+		for b := a + 1; b < trees; b++ {
+			var joint [g][g]int
+			for i := 0; i < keys; i++ {
+				joint[idx[a][i]*g/n][idx[b][i]*g/n]++
+			}
+			expected := float64(keys) / (g * g)
+			chi2 := 0.0
+			for _, row := range joint {
+				for _, c := range row {
+					d := float64(c) - expected
+					chi2 += d * d / expected
+				}
+			}
+			// 255 degrees of freedom: mean 255, stddev ~22.6. 400 is >6σ
+			// out and only fires on real correlation between the lanes.
+			if chi2 > 400 {
+				t.Errorf("trees %d,%d: joint chi-squared %f, indexes are correlated", a, b, chi2)
+			}
+		}
+	}
+}
+
+// TestWideIndexGolden pins the exact index derivation for a fixed seed and
+// fixed keys. Counter placement — in snapshots, on the collection wire,
+// and across merges — depends on these values: a refactor that changes
+// them silently moves every counter and breaks mixed-version merging, so
+// any intentional change must update this table AND be treated as a wire
+// format break.
+func TestWideIndexGolden(t *testing.T) {
+	w := NewBobFamily(0xfc3141).Wide()
+	n := 4096
+	keys := [][]byte{
+		{10, 0, 0, 1},
+		{192, 168, 0, 42},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		[]byte("13-byte-key!!"),
+	}
+	want := [][4]int{
+		{2352, 3788, 2954, 3067},
+		{1127, 2645, 2450, 989},
+		{1035, 937, 58, 1547},
+		{805, 2901, 3914, 1311},
+	}
+	for ki, key := range keys {
+		pc, pb := w.Pair(key)
+		for tree := 0; tree < 4; tree++ {
+			if got := WideIndex(pc, pb, tree, n); got != want[ki][tree] {
+				t.Errorf("key %d tree %d: index %d, want %d", ki, tree, got, want[ki][tree])
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Hash micro-benchmarks: per-function cost tracking for the ingest path.
+// The Wide benchmarks measure the one-pass derivation against d separate
+// Bob evaluations — the hot-path saving of one-pass multi-index hashing.
+// ---------------------------------------------------------------------------
+
+func BenchmarkXX13(b *testing.B)     { benchHash(b, NewXX64(1), 13) }
+func BenchmarkMurmur13(b *testing.B) { benchHash(b, NewMurmur3(1), 13) }
+
+func BenchmarkReduce(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= Reduce(uint64(i)*0x9e3779b97f4a7c15, 1<<20)
+	}
+	_ = sink
+}
+
+func benchWide(b *testing.B, keyLen, trees int) {
+	w := NewBobWide(1)
+	key := make([]byte, keyLen)
+	b.SetBytes(int64(keyLen))
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		key[0] = byte(i)
+		pc, pb := w.Pair(key)
+		for ti := 0; ti < trees; ti++ {
+			sink ^= WideIndex(pc, pb, ti, 1<<16)
+		}
+	}
+	_ = sink
+}
+
+func benchPerTree(b *testing.B, keyLen, trees int) {
+	f := NewBobFamily(1)
+	hs := make([]Hasher, trees)
+	for i := range hs {
+		hs[i] = f.New(i)
+	}
+	key := make([]byte, keyLen)
+	b.SetBytes(int64(keyLen))
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		key[0] = byte(i)
+		for _, h := range hs {
+			sink ^= Reduce(h.Hash(key), 1<<16)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkWideIndexes(b *testing.B) {
+	for _, trees := range []int{2, 4} {
+		b.Run(fmt.Sprintf("trees=%d", trees), func(b *testing.B) { benchWide(b, 4, trees) })
+	}
+}
+
+func BenchmarkPerTreeIndexes(b *testing.B) {
+	for _, trees := range []int{2, 4} {
+		b.Run(fmt.Sprintf("trees=%d", trees), func(b *testing.B) { benchPerTree(b, 4, trees) })
+	}
+}

@@ -59,6 +59,10 @@ type Reader struct {
 	order binary.ByteOrder
 	hdr   Header
 	buf   []byte
+	// rh is the record-header scratch buffer. It lives on the Reader
+	// (already heap-resident) because a stack [16]byte would escape into
+	// io.ReadFull's interface argument and cost one allocation per record.
+	rh [16]byte
 	// reuse controls whether Next may return a buffer that is overwritten
 	// by the following Next call. It is on by default for speed; callers
 	// that retain packet bytes should call Retain.
@@ -110,24 +114,29 @@ func (r *Reader) Retain() { r.reuse = false }
 // Next returns the next record, or io.EOF at the end of the stream. Unless
 // Retain was called, the returned Data is only valid until the next call.
 func (r *Reader) Next() (Record, error) {
-	var rh [16]byte
-	if _, err := io.ReadFull(r.r, rh[:]); err != nil {
+	if _, err := io.ReadFull(r.r, r.rh[:]); err != nil {
 		if err == io.EOF {
 			return Record{}, io.EOF
 		}
 		return Record{}, fmt.Errorf("pcap: reading record header: %w", err)
 	}
-	sec := r.order.Uint32(rh[0:4])
-	frac := r.order.Uint32(rh[4:8])
-	capLen := r.order.Uint32(rh[8:12])
-	origLen := r.order.Uint32(rh[12:16])
+	sec := r.order.Uint32(r.rh[0:4])
+	frac := r.order.Uint32(r.rh[4:8])
+	capLen := r.order.Uint32(r.rh[8:12])
+	origLen := r.order.Uint32(r.rh[12:16])
 	if r.hdr.SnapLen > 0 && capLen > r.hdr.SnapLen+65535 {
 		return Record{}, fmt.Errorf("pcap: implausible capture length %d", capLen)
 	}
 	var data []byte
 	if r.reuse {
 		if cap(r.buf) < int(capLen) {
-			r.buf = make([]byte, capLen)
+			// Round up so mixed frame sizes settle on one buffer after a
+			// few growths instead of reallocating per larger packet.
+			n := 2048
+			for n < int(capLen) {
+				n *= 2
+			}
+			r.buf = make([]byte, n)
 		}
 		data = r.buf[:capLen]
 	} else {

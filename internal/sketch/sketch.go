@@ -10,6 +10,16 @@ type Updater interface {
 	Update(key []byte, inc uint64)
 }
 
+// BatchUpdater ingests many keys per call, amortizing per-call overheads
+// (interface dispatch, lock acquisition, bounds setup) across the batch.
+// Each key receives the same increment inc; the result is identical to
+// calling Update once per key. Implementations must not retain the key
+// slices — callers may reuse the backing buffers after the call returns.
+type BatchUpdater interface {
+	Updater
+	UpdateBatch(keys [][]byte, inc uint64)
+}
+
 // Estimator answers point (count) queries.
 type Estimator interface {
 	Updater

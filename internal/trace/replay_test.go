@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/core"
+	"github.com/fcmsketch/fcm/internal/hashing"
+	"github.com/fcmsketch/fcm/internal/packet"
+)
+
+// countingUpdater is an exact reference sink for replay equivalence tests.
+type countingUpdater struct{ counts map[string]uint64 }
+
+func newCountingUpdater() *countingUpdater {
+	return &countingUpdater{counts: make(map[string]uint64)}
+}
+
+func (c *countingUpdater) Update(key []byte, inc uint64) { c.counts[string(key)] += inc }
+
+func (c *countingUpdater) UpdateBatch(keys [][]byte, inc uint64) {
+	for _, k := range keys {
+		c.counts[string(k)] += inc
+	}
+}
+
+func replaySketch(t *testing.T) *core.Sketch {
+	t.Helper()
+	sk, err := core.New(core.Config{
+		K: 8, Trees: 2, LeafWidth: 4096, Widths: []int{8, 16, 32},
+		Hash: hashing.NewBobFamily(0xfc3141),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+// TestReplayMatchesGroundTruth: Replay must deliver exactly the trace's
+// per-flow packet counts, once per packet, in arrival order semantics.
+func TestReplayMatchesGroundTruth(t *testing.T) {
+	tr, err := CAIDALike(20_000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := newCountingUpdater()
+	tr.Replay(u)
+	for k, want := range tr.TrueCounts() {
+		kk := k
+		if got := u.counts[string(kk.Bytes())]; got != uint64(want) {
+			t.Fatalf("flow %v: replayed %d packets, want %d", k, got, want)
+		}
+	}
+}
+
+// TestBatchReplayerMatchesReplay: the batched replay must deliver the same
+// multiset of updates as the unbatched one, including the final short
+// batch, across batch sizes that do and do not divide the packet count.
+func TestBatchReplayerMatchesReplay(t *testing.T) {
+	tr, err := CAIDALike(10_007, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := newCountingUpdater()
+	tr.Replay(want)
+	for _, batch := range []int{1, 7, 256, 1 << 20} {
+		got := newCountingUpdater()
+		NewBatchReplayer(batch).Replay(tr, got)
+		if len(got.counts) != len(want.counts) {
+			t.Fatalf("batch %d: %d flows, want %d", batch, len(got.counts), len(want.counts))
+		}
+		for k, v := range want.counts {
+			if got.counts[k] != v {
+				t.Fatalf("batch %d flow %x: %d updates, want %d", batch, k, got.counts[k], v)
+			}
+		}
+	}
+}
+
+// TestBatchReplayerZeroAllocs: replaying into a real sketch through the
+// batch path must not allocate at all — the acceptance criterion for the
+// zero-alloc replay loop.
+func TestBatchReplayerZeroAllocs(t *testing.T) {
+	tr, err := CAIDALike(20_000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := replaySketch(t)
+	r := NewBatchReplayer(256)
+	r.Replay(tr, sk) // warm-up: buffer at capacity
+	if avg := testing.AllocsPerRun(3, func() { r.Replay(tr, sk) }); avg != 0 {
+		t.Errorf("batched replay allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestReplayZeroAllocs: even the unbatched replay loop is allocation-free,
+// since key views point into the trace's key table.
+func TestReplayZeroAllocs(t *testing.T) {
+	tr, err := CAIDALike(20_000, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := replaySketch(t)
+	tr.Replay(sk)
+	if avg := testing.AllocsPerRun(3, func() { tr.Replay(sk) }); avg != 0 {
+		t.Errorf("unbatched replay allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestReplayPcapMatchesReadPcap: streaming a capture straight into an
+// updater must count exactly what materializing the Trace first would.
+func TestReplayPcapMatchesReadPcap(t *testing.T) {
+	tr, err := CAIDALike(5_000, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf, 1e9, 15e9); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	u := newCountingUpdater()
+	packets, skipped, err := ReplayPcap(bytes.NewReader(data), packet.KeySrcIP, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("%d frames skipped", skipped)
+	}
+	if packets != tr.NumPackets() {
+		t.Errorf("replayed %d packets, want %d", packets, tr.NumPackets())
+	}
+	ref, _, err := ReadPcap(bytes.NewReader(data), packet.KeySrcIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range ref.TrueCounts() {
+		kk := k
+		if got := u.counts[string(kk.Bytes())]; got != uint64(want) {
+			t.Fatalf("flow %v: streamed %d packets, want %d", k, got, want)
+		}
+	}
+}
+
+// TestReplayPcapPerPacketAllocs: the streaming pcap→sketch loop must not
+// allocate per packet. Setup (bufio reader, frame buffer, the hoisted key)
+// costs a fixed handful of allocations; amortized over the capture they
+// must vanish.
+func TestReplayPcapPerPacketAllocs(t *testing.T) {
+	tr, err := CAIDALike(20_000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf, 1e9, 15e9); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	sk := replaySketch(t)
+	rd := bytes.NewReader(data)
+	total := testing.AllocsPerRun(3, func() {
+		rd.Reset(data)
+		if _, _, err := ReplayPcap(rd, packet.KeySrcIP, sk); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perPacket := total / float64(tr.NumPackets())
+	if perPacket > 0.01 {
+		t.Errorf("pcap replay allocates %.4f per packet (%.0f per run), want ~0", perPacket, total)
+	}
+}

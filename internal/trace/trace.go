@@ -29,6 +29,7 @@ import (
 
 	"github.com/fcmsketch/fcm/internal/packet"
 	"github.com/fcmsketch/fcm/internal/pcap"
+	"github.com/fcmsketch/fcm/internal/sketch"
 )
 
 // Model selects the flow-size model of a synthetic trace.
@@ -88,6 +89,49 @@ func (t *Trace) ForEachPacket(fn func(flowID int, key []byte)) {
 	for _, id := range t.Order {
 		fn(int(id), t.Keys[id].Bytes())
 	}
+}
+
+// Replay feeds every packet to u in arrival order with increment 1 — the
+// unbatched ingest baseline. The key views point into the trace's own key
+// table, so no bytes are copied and nothing is allocated per packet.
+func (t *Trace) Replay(u sketch.Updater) {
+	for _, id := range t.Order {
+		u.Update(t.Keys[id].Bytes(), 1)
+	}
+}
+
+// BatchReplayer replays traces through the batched ingest path with a
+// reusable key-view buffer: after construction, a replay performs zero
+// allocations per packet. One BatchReplayer serves any number of
+// consecutive replays; it is not safe for concurrent use.
+type BatchReplayer struct {
+	batch int
+	keys  [][]byte
+}
+
+// NewBatchReplayer sizes the reusable buffer to batch keys (default 256).
+func NewBatchReplayer(batch int) *BatchReplayer {
+	if batch <= 0 {
+		batch = 256
+	}
+	return &BatchReplayer{batch: batch, keys: make([][]byte, 0, batch)}
+}
+
+// Replay feeds t's packets to bu in arrival order, batch keys per
+// UpdateBatch call, with increment 1. The final short batch is flushed
+// before returning. The key views are stable (they point into t's key
+// table), so the BatchUpdater's no-retention rule is trivially satisfied.
+func (r *BatchReplayer) Replay(t *Trace, bu sketch.BatchUpdater) {
+	keys := r.keys[:0]
+	for _, id := range t.Order {
+		keys = append(keys, t.Keys[id].Bytes())
+		if len(keys) == r.batch {
+			bu.UpdateBatch(keys, 1)
+			keys = keys[:0]
+		}
+	}
+	bu.UpdateBatch(keys, 1)
+	r.keys = keys[:0]
 }
 
 // TrueCounts returns the ground-truth per-flow counts keyed by flow key.
@@ -396,6 +440,48 @@ func (t *Trace) WritePcap(w io.Writer, startNS, durationNS int64) error {
 		}
 	}
 	return pw.Flush()
+}
+
+// ReplayPcap streams a pcap capture directly into u without materializing
+// a Trace: one pass over the file, reusing the pcap reader's frame buffer
+// and a single hoisted Key value, so the steady-state per-packet cost is
+// parse + update with no allocation. It returns the number of packets
+// ingested and the number of unparsable frames skipped.
+func ReplayPcap(r io.Reader, kind packet.KeyKind, u sketch.Updater) (packets, skipped int, err error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	raw := pr.Header().LinkType == pcap.LinkRaw
+	// k lives outside the loop: Bytes takes its address, which would
+	// otherwise heap-allocate a fresh Key on every packet.
+	var k packet.Key
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			return packets, skipped, nil
+		}
+		if err != nil {
+			return packets, skipped, err
+		}
+		var tu packet.FiveTuple
+		var perr error
+		if raw {
+			tu, perr = packet.ParseIPv4(rec.Data)
+			if perr != nil {
+				tu, perr = packet.ParseIPv6(rec.Data)
+			}
+		} else {
+			tu, perr = packet.ParseEthernet(rec.Data)
+		}
+		if perr != nil {
+			skipped++
+			continue
+		}
+		k = packet.KeyOf(tu, kind)
+		u.Update(k.Bytes(), 1)
+		packets++
+	}
 }
 
 // ReadPcap loads a pcap stream into a Trace, keying flows by kind. Frames

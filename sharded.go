@@ -66,6 +66,22 @@ func (s *Sharded) UpdateShard(i int, key []byte, inc uint64) {
 	s.eng.UpdateShard(i, key, inc)
 }
 
+// UpdateBatch records inc occurrences of every key in keys, each routed to
+// its key-affinity shard. For sustained batched ingest prefer
+// Engine().NewBatcher, which groups keys per shard and takes each shard
+// lock once per batch rather than once per key.
+func (s *Sharded) UpdateBatch(keys [][]byte, inc uint64) {
+	for _, k := range keys {
+		s.eng.Update(k, inc)
+	}
+}
+
+// UpdateShardBatch records inc occurrences of every key in keys on shard i
+// under one lock acquisition — the batched ownership path.
+func (s *Sharded) UpdateShardBatch(i int, keys [][]byte, inc uint64) {
+	s.eng.UpdateShardBatch(i, keys, inc)
+}
+
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return s.eng.NumShards() }
 
