@@ -30,6 +30,33 @@ go test -count=1 -run 'Allocs' \
 go test -run 'NOMATCH' -bench 'IngestFCM|UpdateBatchFCM|ReplayTraceFCM' \
   -benchtime 1x .
 
+# Differential gate: the oracle-backed equivalence and metamorphic suite
+# (internal/difftest) under -race and uncached. This is the proof that all
+# four ingest paths — serial, batched, sharded, PISA — stay bit-identical
+# and one-sided against the exact oracle; every trial derives from a
+# printed seed, so any failure reproduces with -seed.
+go test -race -count=1 ./internal/difftest/
+
+# Fuzz gate, part 1: the checked-in seed corpora must exist, be non-empty
+# and match the in-code seed definitions (TestSeedCorpora enforces
+# staleness; the explicit file check below catches an accidentally pruned
+# checkout before go test would silently fuzz from nothing).
+for target in FuzzSketchOps FuzzPcapIngest FuzzEMInput; do
+  dir="internal/difftest/testdata/fuzz/$target"
+  [ -d "$dir" ]
+  [ -n "$(ls -A "$dir")" ]
+done
+go test -count=1 -run 'TestSeedCorpora' ./internal/difftest/
+
+# Fuzz gate, part 2: short smoke runs of every native fuzz target — the
+# state-machine fuzzer over the ingest ops, the pcap differential fuzzer
+# and the EM input fuzzer — plus the collect codec fuzzers that predate
+# them. Ten seconds each is not a soak; it gates that the targets still
+# build, the corpora still replay, and nothing shallow regressed.
+go test -run NOMATCH -fuzz '^FuzzSketchOps$' -fuzztime 10s ./internal/difftest/
+go test -run NOMATCH -fuzz '^FuzzPcapIngest$' -fuzztime 10s ./internal/difftest/
+go test -run NOMATCH -fuzz '^FuzzEMInput$' -fuzztime 10s ./internal/difftest/
+
 # Telemetry gate, part 1: the telemetry-plane suites race-enabled and
 # uncached — registry/export correctness, engine instrumentation, and the
 # poller health-cycle test that drives healthy->degraded->down->healthy

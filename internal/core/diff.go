@@ -1,0 +1,53 @@
+package core
+
+import "fmt"
+
+// EqualRegisters reports whether s and o share a geometry and hold
+// bit-identical counter state in every stage of every tree. It is the
+// equality the differential harness enforces between ingest paths: two
+// sketches that EqualRegisters answer every query — count, cardinality,
+// virtual-counter conversion — identically.
+func (s *Sketch) EqualRegisters(o *Sketch) bool {
+	return s.FirstRegisterDiff(o) == ""
+}
+
+// FirstRegisterDiff returns "" when EqualRegisters would hold, otherwise a
+// human-readable description of the first difference found (geometry first,
+// then registers in tree/stage/index order). Differential tests print it so
+// a failure names the exact counter that diverged rather than two opaque
+// dumps.
+func (s *Sketch) FirstRegisterDiff(o *Sketch) string {
+	if o == nil {
+		return "other sketch is nil"
+	}
+	if s.k != o.k {
+		return fmt.Sprintf("arity differs: K=%d vs %d", s.k, o.k)
+	}
+	if s.w1 != o.w1 {
+		return fmt.Sprintf("leaf width differs: w1=%d vs %d", s.w1, o.w1)
+	}
+	if len(s.trees) != len(o.trees) {
+		return fmt.Sprintf("tree count differs: %d vs %d", len(s.trees), len(o.trees))
+	}
+	if len(s.widths) != len(o.widths) {
+		return fmt.Sprintf("depth differs: %d vs %d stages", len(s.widths), len(o.widths))
+	}
+	for l := range s.widths {
+		if s.widths[l] != o.widths[l] {
+			return fmt.Sprintf("stage %d width differs: %d vs %d bits", l, s.widths[l], o.widths[l])
+		}
+	}
+	for ti := range s.trees {
+		a, b := s.trees[ti], o.trees[ti]
+		for l := range a.stages {
+			sa, sb := a.stages[l], b.stages[l]
+			for i := range sa {
+				if sa[i] != sb[i] {
+					return fmt.Sprintf("tree %d stage %d index %d differs: %d vs %d",
+						ti, l, i, sa[i], sb[i])
+				}
+			}
+		}
+	}
+	return ""
+}

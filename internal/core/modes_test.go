@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/hashing"
+)
+
+func modeSketch(t *testing.T, perTree bool, seed uint32) *Sketch {
+	t.Helper()
+	s, err := New(Config{
+		K: 2, Trees: 2, Widths: []int{8, 16, 32}, LeafWidth: 64,
+		Hash:        hashing.NewBobFamily(seed),
+		PerTreeHash: perTree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestMergeRefusesHashModeMismatch pins the mode seam: a one-pass sketch
+// and a per-tree sketch place counters differently, so merging them would
+// silently corrupt counts. Both directions must refuse.
+func TestMergeRefusesHashModeMismatch(t *testing.T) {
+	onePass := modeSketch(t, false, 1)
+	perTree := modeSketch(t, true, 1)
+	for _, dir := range []struct {
+		name string
+		dst  *Sketch
+		src  *Sketch
+	}{
+		{"one-pass absorbs per-tree", onePass, perTree},
+		{"per-tree absorbs one-pass", perTree, onePass},
+	} {
+		err := dir.dst.Merge(dir.src)
+		if err == nil {
+			t.Fatalf("%s: merge accepted a hash-mode mismatch", dir.name)
+		}
+		if !strings.Contains(err.Error(), "hash-mode mismatch") {
+			t.Fatalf("%s: wrong error: %v", dir.name, err)
+		}
+	}
+}
+
+// TestMergeRefusesWideSeedMismatch: two one-pass sketches only agree on
+// placement when their wide hashers share a seed.
+func TestMergeRefusesWideSeedMismatch(t *testing.T) {
+	a := modeSketch(t, false, 1)
+	b := modeSketch(t, false, 2)
+	err := a.Merge(b)
+	if err == nil {
+		t.Fatal("merge accepted sketches with different wide-hash seeds")
+	}
+	if !strings.Contains(err.Error(), "hash-seed mismatch") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+// TestMergeRefusesNilAndGeometryMismatch covers the remaining refusal
+// paths: nil source, arity, leaf width, depth and stage-width mismatches.
+func TestMergeRefusesNilAndGeometryMismatch(t *testing.T) {
+	base := modeSketch(t, false, 1)
+	if err := base.Merge(nil); err == nil {
+		t.Fatal("merge accepted nil")
+	}
+	mk := func(mut func(*Config)) *Sketch {
+		cfg := Config{
+			K: 2, Trees: 2, Widths: []int{8, 16, 32}, LeafWidth: 64,
+			Hash: hashing.NewBobFamily(1),
+		}
+		mut(&cfg)
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		o    *Sketch
+		want string
+	}{
+		{"arity", mk(func(c *Config) { c.K = 4; c.LeafWidth = 64 }), "geometry mismatch"},
+		{"leaf width", mk(func(c *Config) { c.LeafWidth = 128 }), "geometry mismatch"},
+		{"depth", mk(func(c *Config) { c.Widths = []int{8, 16} }), "depth mismatch"},
+		{"stage width", mk(func(c *Config) { c.Widths = []int{8, 16, 31} }), "width mismatch"},
+	}
+	for _, tc := range cases {
+		err := base.Merge(tc.o)
+		if err == nil {
+			t.Fatalf("%s: merge accepted mismatched sketch", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestHashModesPlaceDifferently is the premise behind the refusals above:
+// with equal geometry and seeds, the two modes really do route the same
+// stream to different counters. If this ever starts passing registers
+// bit-equal, the mode flag has silently stopped doing anything.
+func TestHashModesPlaceDifferently(t *testing.T) {
+	onePass := modeSketch(t, false, 1)
+	perTree := modeSketch(t, true, 1)
+	var key [4]byte
+	for f := uint32(0); f < 200; f++ {
+		binary.BigEndian.PutUint32(key[:], f)
+		onePass.Update(key[:], 1)
+		perTree.Update(key[:], 1)
+	}
+	if onePass.EqualRegisters(perTree) {
+		t.Fatal("one-pass and per-tree modes produced identical register state over 200 flows")
+	}
+}

@@ -1,0 +1,207 @@
+package difftest
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	fcm "github.com/fcmsketch/fcm"
+	"github.com/fcmsketch/fcm/internal/exact"
+	"github.com/fcmsketch/fcm/internal/packet"
+	"github.com/fcmsketch/fcm/internal/trace"
+)
+
+// trackerOfTrace replays a generated trace's ground truth into the exact
+// oracle.
+func trackerOfTrace(tr *trace.Trace) *exact.Tracker {
+	ex := exact.New()
+	for i, k := range tr.Keys {
+		ex.UpdateKey(k, uint64(tr.Sizes[i]))
+	}
+	return ex
+}
+
+// TestEntropyAgainstOracle is table-driven over traffic skews: the EM-based
+// entropy estimate from the sketch must stay within an explicit relative
+// error bound of the exact oracle's entropy on the same seeded trace.
+func TestEntropyAgainstOracle(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name      string
+		alpha     float64
+		packets   int
+		memBytes  int
+		maxRelErr float64
+	}{
+		{"mild-skew", 0.8, 15_000, 64 << 10, 0.10},
+		{"caida-like", 1.0, 20_000, 64 << 10, 0.10},
+		{"heavy-skew", 1.3, 20_000, 64 << 10, 0.10},
+		{"tight-memory", 1.0, 15_000, 16 << 10, 0.15},
+	}
+	for ci, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			seed := *flagSeed
+			if seed == 0 {
+				seed = DeriveSeed(0xe7a0b1, ci)
+			}
+			t.Logf("trace seed %d (override with -seed)", seed)
+			tr, err := trace.Generate(trace.Config{
+				Model:        trace.ModelRankZipf,
+				Alpha:        tc.alpha,
+				TotalPackets: tc.packets,
+				Seed:         seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fw, err := fcm.NewFramework(fcm.Config{MemoryBytes: tc.memBytes, Seed: uint32(uint64(seed))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Replay(fw)
+			got, err := fw.Entropy(&fcm.EMOptions{Iterations: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := trackerOfTrace(tr).Entropy()
+			if want <= 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("degenerate entropy: est %f, exact %f", got, want)
+			}
+			if re := math.Abs(got-want) / want; re > tc.maxRelErr {
+				t.Errorf("entropy relative error %.4f exceeds bound %.4f (est %.4f, exact %.4f)",
+					re, tc.maxRelErr, got, want)
+			}
+		})
+	}
+}
+
+// hcKey builds the 4-byte key for heavy-change flow f.
+func hcKey(f uint32) packet.Key {
+	var k packet.Key
+	binary.BigEndian.PutUint32(k.Buf[:], f^0x7e57f10a)
+	k.Len = 4
+	return k
+}
+
+// TestHeavyChangesAgainstOracle is table-driven over memory regimes: the
+// sketch's heavy-change report across two windows is compared against
+// exact.HeavyChanges on the same flows, with explicit slack bounds. In the
+// sparse regime (memory far exceeding flow count) the detected set must
+// match the oracle exactly; in the tight regime every true change well
+// above threshold must still be detected and every detection must be a
+// genuine change of at least half the threshold (one-sided error can only
+// inflate deltas by bounded collision noise).
+func TestHeavyChangesAgainstOracle(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name      string
+		memBytes  int
+		threshold uint64
+		// exactSet demands detected == oracle set; otherwise the
+		// recall/precision slack bounds below apply.
+		exactSet    bool
+		recallAbove uint64 // every true |Δ| ≥ this must be detected
+		minTrueAbs  uint64 // every detection must have true |Δ| ≥ this
+	}{
+		{"sparse-exact", 1 << 20, 200, true, 0, 0},
+		{"tight-memory", 4 << 10, 200, false, 400, 100},
+	}
+	for ci, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			seed := *flagSeed
+			if seed == 0 {
+				seed = DeriveSeed(0x4ea7c4a6, ci)
+			}
+			t.Logf("workload seed %d (override with -seed)", seed)
+			rng := newRng(seed)
+
+			const flows = 300
+			fw, err := fcm.NewFramework(fcm.Config{MemoryBytes: tc.memBytes, Seed: uint32(uint64(seed))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			prevEx, curEx := exact.New(), exact.New()
+			candidates := make([][]byte, 0, flows)
+			for f := uint32(0); f < flows; f++ {
+				k := hcKey(f)
+				candidates = append(candidates, append([]byte(nil), k.Bytes()...))
+				prev := uint64(1 + rng.Intn(150))
+				cur := prev
+				switch {
+				case f%23 == 0: // grower: crosses the threshold upward
+					cur = prev + tc.threshold*2 + uint64(rng.Intn(300))
+				case f%29 == 0: // shrinker: crosses downward
+					prev += tc.threshold*2 + uint64(rng.Intn(300))
+				default: // jitter well below threshold/2
+					cur = prev + uint64(rng.Intn(int(tc.threshold/4)))
+				}
+				prevEx.UpdateKey(k, prev)
+				curEx.UpdateKey(k, cur)
+				fw.Update(k.Bytes(), prev)
+			}
+			fw.Rotate()
+			for f := uint32(0); f < flows; f++ {
+				k := hcKey(f)
+				fw.Update(k.Bytes(), curEx.Count(k))
+			}
+
+			got, err := fw.HeavyChanges(candidates, tc.threshold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSet := make(map[string]int64, len(got))
+			for _, h := range got {
+				gotSet[h.Key] = h.Delta()
+			}
+			want := exact.HeavyChanges(prevEx, curEx, tc.threshold)
+
+			if tc.exactSet {
+				if len(gotSet) != len(want) {
+					t.Fatalf("detected %d changes, oracle has %d", len(gotSet), len(want))
+				}
+				for k, d := range want {
+					gd, ok := gotSet[string(k.Bytes())]
+					if !ok {
+						t.Fatalf("missed exact change %s (Δ=%d)", k.String(), d)
+					}
+					if gd != d {
+						t.Fatalf("change %s: detected Δ=%d, exact Δ=%d", k.String(), gd, d)
+					}
+				}
+				return
+			}
+			// Tight regime: recall on large true changes...
+			for k, d := range want {
+				abs := uint64(d)
+				if d < 0 {
+					abs = uint64(-d)
+				}
+				if abs >= tc.recallAbove {
+					if _, ok := gotSet[string(k.Bytes())]; !ok {
+						t.Errorf("missed true change %s with |Δ|=%d ≥ %d", k.String(), abs, tc.recallAbove)
+					}
+				}
+			}
+			// ...and bounded false positives: every detection is a genuine
+			// change of at least minTrueAbs.
+			for ks := range gotSet {
+				var k packet.Key
+				copy(k.Buf[:], ks)
+				k.Len = uint8(len(ks))
+				p, c := prevEx.Count(k), curEx.Count(k)
+				abs := c - p
+				if p > c {
+					abs = p - c
+				}
+				if abs < tc.minTrueAbs {
+					t.Errorf("detection %s has true |Δ|=%d < %d (estimate noise exceeded slack)",
+						k.String(), abs, tc.minTrueAbs)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,144 @@
+package difftest
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/trace"
+)
+
+// updateCorpus rewrites the checked-in fuzz seed corpora under
+// testdata/fuzz from the in-code seed definitions below:
+//
+//	go test ./internal/difftest -run TestSeedCorpora -update-corpus
+var updateCorpus = flag.Bool("update-corpus", false, "rewrite the checked-in fuzz seed corpora")
+
+// sketchOpsSeedPrograms returns handwritten programs that walk every
+// opcode on every geometry, including the merge/rotate/reset seams a
+// random mutator takes a while to discover.
+func sketchOpsSeedPrograms() [][]byte {
+	var progs [][]byte
+	for geom := byte(0); geom < 4; geom++ {
+		progs = append(progs,
+			// Update a few flows, snapshot-compare, estimate.
+			[]byte{geom, 0x00, 1, 5, 0x00, 2, 9, 0x00, 1, 5, 0x02, 0x06, 1, 0x06, 3},
+			// Batch vs serial then rotate and keep going in the new window.
+			[]byte{geom, 0x01, 17, 1, 2, 3, 4, 5, 0x02, 0x03, 0x00, 7, 15, 0x02, 0x06, 7},
+			// Merge a side sketch in, then reset, then rebuild.
+			[]byte{geom, 0x00, 4, 3, 0x04, 4, 12, 0x02, 0x06, 4, 0x05, 0x00, 4, 1, 0x06, 4},
+		)
+	}
+	// Hot-loop a single flow far past the leaf and mid-stage capacity so
+	// carry propagation and (on tiny roots) saturation are in the corpus.
+	hot := []byte{0}
+	for i := 0; i < 120; i++ {
+		hot = append(hot, 0x00, 9, 255)
+	}
+	hot = append(hot, 0x02, 0x06, 9)
+	progs = append(progs, hot)
+	return progs
+}
+
+// pcapSeedInputs returns pcap byte strings: a well-formed capture written
+// by the repo's own writer, plus truncation and corruption variants that
+// must fail identically on both ingest paths.
+func pcapSeedInputs() [][]byte {
+	tr, err := trace.Generate(trace.Config{
+		Model:        trace.ModelRankZipf,
+		Alpha:        1.0,
+		TotalPackets: 40,
+		AvgFlowSize:  5,
+		Seed:         11,
+	})
+	if err != nil {
+		panic("difftest: corpus trace generation failed: " + err.Error())
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf, 0, 1_000_000_000); err != nil {
+		panic("difftest: corpus pcap write failed: " + err.Error())
+	}
+	whole := buf.Bytes()
+	truncated := append([]byte(nil), whole[:len(whole)-7]...)
+	headerOnly := append([]byte(nil), whole[:24]...)
+	badMagic := append([]byte(nil), whole...)
+	badMagic[0] ^= 0xff
+	// Forged record length: global header claims SnapLen 0 and the first
+	// record claims gigabytes — the reader must refuse, not allocate.
+	forged := append([]byte(nil), whole...)
+	forged[16], forged[17], forged[18], forged[19] = 0, 0, 0, 0 // SnapLen = 0
+	forged[24+8], forged[24+9], forged[24+10], forged[24+11] = 0xff, 0xff, 0xff, 0x7f
+	return [][]byte{whole, truncated, headerOnly, badMagic, forged}
+}
+
+// emSeedInputs returns virtual-counter encodings for FuzzEMInput: plain
+// degree-1 counters, mixed degrees, an infeasible high-degree group, and a
+// forged huge value that must trip the MaxSpan guard.
+func emSeedInputs() [][]byte {
+	return [][]byte{
+		{0x02, 0x04, 0, 0, 3, 0, 0, 0, 7, 0, 1, 0, 12, 0},
+		{0x06, 0x06, 1, 0, 40, 0, 2, 1, 44, 0, 0, 0, 0, 0, 4, 2, 200, 0},
+		{0x07, 0x03, 15, 0, 2, 0},                             // degree 16, value 2: infeasible under theta
+		{0x87, 0x05, 0, 0, 9, 1, 3, 0, 50, 0, 1, 255, 255, 1}, // control bit: forge past MaxSpan
+	}
+}
+
+// corpusTargets maps each fuzz target to its seed inputs.
+func corpusTargets() map[string][][]byte {
+	return map[string][][]byte{
+		"FuzzSketchOps":  sketchOpsSeedPrograms(),
+		"FuzzPcapIngest": pcapSeedInputs(),
+		"FuzzEMInput":    emSeedInputs(),
+	}
+}
+
+// corpusEntry renders one seed in the native `go test fuzz v1` corpus
+// encoding for a single []byte argument.
+func corpusEntry(data []byte) []byte {
+	return []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n")
+}
+
+// TestSeedCorpora pins the checked-in corpora to the in-code seed
+// definitions: with -update-corpus it rewrites testdata/fuzz, without it
+// it fails if any corpus directory is missing, empty, or stale. CI relies
+// on this plus an explicit non-empty check in ci.sh.
+func TestSeedCorpora(t *testing.T) {
+	for target, seeds := range corpusTargets() {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if *updateCorpus {
+			if err := os.RemoveAll(dir); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			for i, s := range seeds {
+				name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+				if err := os.WriteFile(name, corpusEntry(s), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("corpus for %s unreadable (run with -update-corpus to regenerate): %v", target, err)
+		}
+		if len(ents) < len(seeds) {
+			t.Fatalf("corpus for %s has %d entries, want ≥ %d (run with -update-corpus)", target, len(ents), len(seeds))
+		}
+		for i, s := range seeds {
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			got, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("corpus for %s: %v (run with -update-corpus)", target, err)
+			}
+			if !bytes.Equal(got, corpusEntry(s)) {
+				t.Fatalf("corpus entry %s is stale (run with -update-corpus)", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package difftest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/core"
+	"github.com/fcmsketch/fcm/internal/em"
+	"github.com/fcmsketch/fcm/internal/packet"
+	"github.com/fcmsketch/fcm/internal/trace"
+)
+
+// FuzzSketchOps state-machine-fuzzes the ingest surface: the input is a
+// program over Update/UpdateBatch/Snapshot/Rotate/Merge/Reset/Estimate,
+// interpreted in lockstep against a serial sketch, a sharded sketch and an
+// exact oracle. See RunSketchOps for the opcode table.
+func FuzzSketchOps(f *testing.F) {
+	for _, seed := range sketchOpsSeedPrograms() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 4096 {
+			return
+		}
+		if err := RunSketchOps(program); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// fuzzPcapGeometry is the tiny fixed geometry both pcap ingest paths use;
+// constant so every corpus entry reproduces byte-identical placement.
+var fuzzPcapGeometry = Geometry{K: 2, Trees: 2, Widths: []int{2, 4, 8}, LeafWidth: 8, Seed: 9}
+
+// FuzzPcapIngest differentially fuzzes the two pcap ingest paths: the
+// streaming ReplayPcap (reused frame buffer, zero-alloc) versus
+// ReadPcap-then-Replay (materialized trace). For any byte string the two
+// must agree on error/success, packet and skip counts, and — on success —
+// produce bit-identical sketches.
+func FuzzPcapIngest(f *testing.F) {
+	for _, seed := range pcapSeedInputs() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		stream, err := fuzzPcapGeometry.NewCore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts, skipped, errStream := trace.ReplayPcap(bytes.NewReader(data), packet.KeySrcIP, stream)
+		tr, skipped2, errRead := trace.ReadPcap(bytes.NewReader(data), packet.KeySrcIP)
+		if (errStream == nil) != (errRead == nil) {
+			t.Fatalf("paths disagree on validity: stream err=%v, read err=%v", errStream, errRead)
+		}
+		if errStream != nil {
+			return
+		}
+		if pkts != tr.NumPackets() || skipped != skipped2 {
+			t.Fatalf("paths disagree on counts: stream (%d pkts, %d skipped) vs read (%d pkts, %d skipped)",
+				pkts, skipped, tr.NumPackets(), skipped2)
+		}
+		loaded, err := fuzzPcapGeometry.NewCore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Replay(loaded)
+		if d := stream.FirstRegisterDiff(loaded); d != "" {
+			t.Fatalf("streaming and materialized ingest diverged: %s", d)
+		}
+	})
+}
+
+// FuzzEMInput fuzzes the EM estimator with arbitrary virtual-counter
+// arrays — the shape a controller decodes off the wire. Whatever the
+// input, em.Run must return an error or a finite, non-negative
+// distribution; it must never panic or allocate proportionally to a forged
+// counter value (the MaxSpan guard).
+func FuzzEMInput(f *testing.F) {
+	for _, seed := range emSeedInputs() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 2048 {
+			return
+		}
+		cfg, vcs := parseEMInput(data)
+		if len(vcs) == 0 {
+			return
+		}
+		res, err := em.Run(cfg, [][]core.VirtualCounter{vcs})
+		if err != nil {
+			return
+		}
+		if math.IsNaN(res.N) || math.IsInf(res.N, 0) || res.N < 0 {
+			t.Fatalf("estimated flow count is degenerate: %v", res.N)
+		}
+		for j, v := range res.Dist {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("dist[%d] is degenerate: %v", j, v)
+			}
+		}
+	})
+}
+
+// parseEMInput decodes a fuzz input into an EM config and one tree of
+// virtual counters. Values are masked under 2^16 so the distribution array
+// stays small, except when the input's control bit asks to exercise the
+// MaxSpan rejection path with a huge forged value.
+func parseEMInput(data []byte) (em.Config, []core.VirtualCounter) {
+	if len(data) < 2 {
+		return em.Config{}, nil
+	}
+	ctl := data[0]
+	cfg := em.Config{
+		W1:         1 << (1 + int(data[1])%10), // 2..1024 leaves
+		Theta1:     uint64(ctl % 8),
+		Iterations: 2,
+		Workers:    1,
+	}
+	data = data[2:]
+	var vcs []core.VirtualCounter
+	for len(data) >= 4 && len(vcs) < 256 {
+		deg := 1 + int(data[0])%16
+		val := uint64(binary.BigEndian.Uint16(data[1:3]))
+		if ctl&0x80 != 0 && data[3]&1 != 0 {
+			// Forged counter far past MaxSpan: Run must reject it before
+			// sizing anything off it.
+			val |= 1 << 40
+		}
+		vcs = append(vcs, core.VirtualCounter{Value: val, Degree: deg, Level: 1})
+		data = data[4:]
+	}
+	return cfg, vcs
+}

@@ -1,0 +1,142 @@
+package difftest
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"github.com/fcmsketch/fcm/internal/trace"
+)
+
+// Distribution selects how a random workload spreads packets over flows.
+// The harness sweeps all of them: a differential bug in the carry path only
+// surfaces when counters actually overflow, which uniform traffic over a
+// large key space may never cause.
+type Distribution int
+
+// Supported workload distributions.
+const (
+	// DistUniform draws each packet's flow uniformly from the flow set.
+	DistUniform Distribution = iota
+	// DistZipf draws flows rank-Zipf (a few elephants, many mice) — the
+	// paper's traffic model, via internal/trace's generator.
+	DistZipf
+	// DistHot hammers a handful of flows with almost all packets, forcing
+	// promotion through every stage up to root saturation.
+	DistHot
+)
+
+// distributions is the sweep order; Workload indexes it by trial.
+var distributions = []Distribution{DistUniform, DistZipf, DistHot}
+
+// Workload is one deterministic packet stream: keys in arrival order, every
+// packet incrementing by 1. Keys alias a single backing table, so replays
+// through any path are allocation-free and byte-identical.
+type Workload struct {
+	Keys [][]byte
+}
+
+// NumPackets returns the stream length.
+func (w *Workload) NumPackets() int { return len(w.Keys) }
+
+// Split deals the stream round-robin into n sub-streams whose concatenation
+// (in any interleaving) is packet-equivalent to the original — the shape
+// shard and merge invariants consume.
+func (w *Workload) Split(n int) []*Workload {
+	if n <= 1 {
+		return []*Workload{w}
+	}
+	parts := make([]*Workload, n)
+	for i := range parts {
+		parts[i] = &Workload{}
+	}
+	for i, k := range w.Keys {
+		p := parts[i%n]
+		p.Keys = append(p.Keys, k)
+	}
+	return parts
+}
+
+// Windows cuts the stream into n consecutive windows (for rotate
+// linearity).
+func (w *Workload) Windows(n int) []*Workload {
+	if n <= 1 {
+		return []*Workload{w}
+	}
+	out := make([]*Workload, 0, n)
+	per := len(w.Keys) / n
+	for i := 0; i < n; i++ {
+		lo, hi := i*per, (i+1)*per
+		if i == n-1 {
+			hi = len(w.Keys)
+		}
+		out = append(out, &Workload{Keys: w.Keys[lo:hi]})
+	}
+	return out
+}
+
+// flowKey encodes flow id f as the 4-byte big-endian key the harness uses
+// everywhere (the same width as the paper's source-IP keying).
+func flowKey(table []byte, f uint32) []byte {
+	off := int(f) * 4
+	binary.BigEndian.PutUint32(table[off:off+4], f^0xa5a5a5a5)
+	return table[off : off+4 : off+4]
+}
+
+// RandomWorkload draws a deterministic workload from seed: the distribution,
+// flow count and packet count all derive from it. Streams are sized so a
+// full equivalence trial (seven paths) stays in the low milliseconds while
+// still overflowing small geometries.
+func RandomWorkload(seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	dist := distributions[rng.Intn(len(distributions))]
+	flows := 16 + rng.Intn(241)     // 16..256 flows
+	packets := 200 + rng.Intn(1801) // 200..2000 packets
+	return GenerateWorkload(rng, dist, flows, packets)
+}
+
+// GenerateWorkload materializes a workload with the given shape. The rng
+// carries all randomness, so equal rng states yield equal streams.
+func GenerateWorkload(rng *rand.Rand, dist Distribution, flows, packets int) *Workload {
+	if flows < 1 {
+		flows = 1
+	}
+	table := make([]byte, flows*4)
+	keys := make([][]byte, 0, packets)
+	switch dist {
+	case DistZipf:
+		tr, err := trace.Generate(trace.Config{
+			Model:        trace.ModelRankZipf,
+			Alpha:        1.0,
+			TotalPackets: packets,
+			AvgFlowSize:  float64(packets)/float64(flows) + 1,
+			Seed:         rng.Int63(),
+			Shuffle:      true,
+		})
+		if err != nil {
+			// Parameters above are always valid; a failure here is a
+			// harness bug, not a trial outcome.
+			panic("difftest: trace generation failed: " + err.Error())
+		}
+		w := &Workload{}
+		tr.ForEachPacket(func(_ int, key []byte) {
+			w.Keys = append(w.Keys, key)
+		})
+		return w
+	case DistHot:
+		hot := 1 + rng.Intn(4)
+		for i := 0; i < packets; i++ {
+			var f uint32
+			if rng.Intn(20) == 0 {
+				f = uint32(rng.Intn(flows))
+			} else {
+				f = uint32(rng.Intn(hot))
+			}
+			keys = append(keys, flowKey(table, f))
+		}
+	default: // DistUniform
+		for i := 0; i < packets; i++ {
+			keys = append(keys, flowKey(table, uint32(rng.Intn(flows))))
+		}
+	}
+	return &Workload{Keys: keys}
+}

@@ -1,0 +1,141 @@
+package difftest
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/fcmsketch/fcm/internal/collect"
+	"github.com/fcmsketch/fcm/internal/faultnet"
+)
+
+// TestMergeCommutativeAssociative checks merge algebra over random
+// geometries and workload pairs/triples: A∪B == B∪A == serial(A++B) and
+// (A∪B)∪C == A∪(B∪C), all bit-for-bit.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	t.Parallel()
+	trials(t, 0x3e76e001, 60, func(t *testing.T, seed int64) {
+		g := RandomGeometry(newRng(seed))
+		a := RandomWorkload(DeriveSeed(seed, 1))
+		b := RandomWorkload(DeriveSeed(seed, 2))
+		c := RandomWorkload(DeriveSeed(seed, 3))
+		if err := CheckMergeCommutative(g, a, b); err != nil {
+			t.Fatalf("geometry %s: %v", g, err)
+		}
+		if err := CheckMergeAssociative(g, a, b, c); err != nil {
+			t.Fatalf("geometry %s: %v", g, err)
+		}
+	})
+}
+
+// TestShardMergeEqualsSerialAnyPartition checks that any partition of the
+// stream over any shard count collapses back to the serial sketch — the
+// invariant the distributed-collection story rests on.
+func TestShardMergeEqualsSerialAnyPartition(t *testing.T) {
+	t.Parallel()
+	trials(t, 0x5a4dbeef, 60, func(t *testing.T, seed int64) {
+		g := RandomGeometry(newRng(seed))
+		w := RandomWorkload(DeriveSeed(seed, 1))
+		ref, err := Serial(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := w.Split(1 + int(uint64(seed)%9))
+		merged, err := Serial(g, parts[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range parts[1:] {
+			s, err := Serial(g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := merged.Merge(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := requireEqual("partition merge", ref, merged); err != nil {
+			t.Fatalf("geometry %s, %d parts: %v", g, len(parts), err)
+		}
+	})
+}
+
+// TestCodecRoundTripRandomGeometry checks snapshot → encode → decode →
+// restore is the identity on register state for random geometries in both
+// hash modes, not just the fixed matrix CheckAll sweeps.
+func TestCodecRoundTripRandomGeometry(t *testing.T) {
+	t.Parallel()
+	trials(t, 0xc0dec001, 60, func(t *testing.T, seed int64) {
+		g := RandomGeometry(newRng(seed))
+		w := RandomWorkload(DeriveSeed(seed, 1))
+		ref, err := Serial(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckCodecRoundTrip(g, ref); err != nil {
+			t.Fatalf("geometry %s: %v", g, err)
+		}
+	})
+}
+
+// TestCollectionUnderFaultsBitExact runs the full collection loop —
+// snapshot server behind a seeded fault injector, retrying client — and
+// asserts the sketch that survives refusals, mid-frame resets, bit flips
+// and short writes is bit-identical to the one the server held. The CRC
+// trailer must reject every corrupted frame; a corrupt snapshot that
+// decodes cleanly is a harness failure, not bad luck.
+func TestCollectionUnderFaultsBitExact(t *testing.T) {
+	t.Parallel()
+	trials(t, 0xfa01f001, 8, func(t *testing.T, seed int64) {
+		g := Geometries()[int(uint64(seed)>>8)%len(Geometries())]
+		w := RandomWorkload(DeriveSeed(seed, 1))
+		ref, err := Serial(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		inj := faultnet.New(faultnet.Config{
+			Seed:          seed,
+			RefuseProb:    0.2,
+			ResetProb:     0.25,
+			CorruptProb:   0.25,
+			ResetAfterMax: 256,
+			MaxWriteChunk: 7,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := collect.Serve(faultnet.Listen(ln, inj), collect.NewLockedSketch(ref), collect.ServerConfig{
+			ReadTimeout:  2 * time.Second,
+			WriteTimeout: 2 * time.Second,
+			IdleTimeout:  2 * time.Second,
+		})
+		defer srv.Close()
+
+		cl, err := collect.NewClient(collect.ClientConfig{
+			Addr:        srv.Addr(),
+			MaxRetries:  200,
+			IOTimeout:   2 * time.Second,
+			BackoffBase: 200 * time.Microsecond,
+			BackoffMax:  2 * time.Millisecond,
+			JitterSeed:  seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+
+		snap, err := cl.ReadSketch()
+		if err != nil {
+			t.Fatalf("collection never recovered (injector stats %+v): %v", inj.Stats(), err)
+		}
+		restored, err := snap.Restore(g.CoreConfig().Hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := requireEqual("collected snapshot", ref, restored); err != nil {
+			t.Fatalf("injector stats %+v: %v", inj.Stats(), err)
+		}
+	})
+}

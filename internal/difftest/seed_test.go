@@ -1,0 +1,40 @@
+package difftest
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+)
+
+// flagSeed pins every randomized trial in this package to one seed. The
+// normal run derives trial seeds with DeriveSeed and each failing subtest
+// prints its own seed; re-running with
+//
+//	go test ./internal/difftest -run <TestName> -seed <printed seed>
+//
+// replays exactly that trial and nothing else.
+var flagSeed = flag.Int64("seed", 0, "replay a single trial with this seed instead of the derived sweep")
+
+// trials runs fn over n seeds derived from base, each as its own subtest
+// named by its seed. With -seed set it runs exactly one trial with that
+// seed. Every failure reports the one number needed to reproduce it.
+func trials(t *testing.T, base int64, n int, fn func(t *testing.T, seed int64)) {
+	t.Helper()
+	run := func(seed int64) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Cleanup(func() {
+				if t.Failed() {
+					t.Logf("reproduce: go test ./internal/difftest -run '%s' -seed %d", t.Name(), seed)
+				}
+			})
+			fn(t, seed)
+		})
+	}
+	if *flagSeed != 0 {
+		run(*flagSeed)
+		return
+	}
+	for i := 0; i < n; i++ {
+		run(DeriveSeed(base, i))
+	}
+}

@@ -55,6 +55,13 @@ type Config struct {
 	// Workers sets the parallelism: 1 = single-threaded (FCM(s)),
 	// 0 = GOMAXPROCS (FCM(m)).
 	Workers int
+	// MaxSpan bounds the largest virtual-counter value accepted. The
+	// estimator allocates O(max value) floats for the distribution, so an
+	// absurd counter — a corrupt or hostile snapshot decoded off the wire
+	// — would otherwise translate directly into a multi-gigabyte
+	// allocation. Zero selects DefaultMaxSpan; raise it explicitly for
+	// trusted inputs with genuinely enormous flows.
+	MaxSpan uint64
 	// OnIteration, when non-nil, receives the distribution estimate after
 	// every iteration (used by the Fig. 9b convergence experiment). The
 	// slice must not be retained.
@@ -62,6 +69,13 @@ type Config struct {
 	// Metrics, when non-nil, receives run/iteration counts and latency.
 	Metrics *Metrics
 }
+
+// DefaultMaxSpan is the default bound on virtual-counter values (and thus
+// on the length of the estimated distribution): 2^26 ≈ 67M packets in one
+// flow, comfortably above the ~100K-packet elephants of the paper's traces
+// while keeping the worst-case distribution allocation around half a
+// gigabyte instead of the 32GB a forged 32-bit root counter could demand.
+const DefaultMaxSpan = 1 << 26
 
 // Result holds the final estimates.
 type Result struct {
@@ -109,6 +123,14 @@ func Run(cfg Config, trees [][]core.VirtualCounter) (*Result, error) {
 	if zmax == 0 {
 		// Empty sketch: nothing to estimate.
 		return &Result{Dist: make([]float64, 1), Iterations: 0}, nil
+	}
+	span := cfg.MaxSpan
+	if span == 0 {
+		span = DefaultMaxSpan
+	}
+	if zmax > span {
+		return nil, fmt.Errorf("em: virtual counter value %d exceeds the %d span limit "+
+			"(corrupt snapshot? raise Config.MaxSpan for trusted inputs)", zmax, span)
 	}
 
 	e := &engine{cfg: cfg, groups: groups, zmax: zmax, d: len(trees), workers: workers}

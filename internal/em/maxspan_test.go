@@ -1,0 +1,46 @@
+package em
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/core"
+)
+
+// TestRunRejectsForgedSpan pins the MaxSpan guard: the estimator sizes its
+// distribution array by the largest virtual-counter value, so a forged or
+// corrupt snapshot with an absurd counter must be rejected up front rather
+// than translated into a multi-gigabyte allocation.
+func TestRunRejectsForgedSpan(t *testing.T) {
+	vcs := [][]core.VirtualCounter{{
+		{Value: 3, Degree: 1, Level: 1},
+		{Value: DefaultMaxSpan + 1, Degree: 1, Level: 1},
+	}}
+	_, err := Run(Config{W1: 8, Theta1: 254, Iterations: 1, Workers: 1}, vcs)
+	if err == nil {
+		t.Fatal("Run accepted a counter value past DefaultMaxSpan")
+	}
+	if !strings.Contains(err.Error(), "span limit") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+// TestRunMaxSpanRaisable: trusted inputs with genuinely enormous flows can
+// opt out by raising MaxSpan explicitly.
+func TestRunMaxSpanRaisable(t *testing.T) {
+	const big = 1 << 21
+	vcs := [][]core.VirtualCounter{{
+		{Value: 3, Degree: 1, Level: 1},
+		{Value: big, Degree: 1, Level: 1},
+	}}
+	if _, err := Run(Config{W1: 8, Theta1: 254, Iterations: 1, Workers: 1, MaxSpan: 4}, vcs); err == nil {
+		t.Fatal("Run ignored a tightened MaxSpan")
+	}
+	res, err := Run(Config{W1: 8, Theta1: 254, Iterations: 1, Workers: 1, MaxSpan: big}, vcs)
+	if err != nil {
+		t.Fatalf("Run rejected a raised MaxSpan: %v", err)
+	}
+	if len(res.Dist) < big {
+		t.Fatalf("distribution truncated: len %d < %d", len(res.Dist), big)
+	}
+}

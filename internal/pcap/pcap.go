@@ -124,7 +124,15 @@ func (r *Reader) Next() (Record, error) {
 	frac := r.order.Uint32(r.rh[4:8])
 	capLen := r.order.Uint32(r.rh[8:12])
 	origLen := r.order.Uint32(r.rh[12:16])
-	if r.hdr.SnapLen > 0 && capLen > r.hdr.SnapLen+65535 {
+	// Bound the allocation by the declared snap length; a header with
+	// SnapLen 0 or an absurd one (crafted or corrupt files) gets a sane
+	// cap — real captures snap at 65535, modern tcpdump at 262144 — so a
+	// forged record length cannot demand gigabytes.
+	lim := r.hdr.SnapLen
+	if lim == 0 || lim > 1<<20 {
+		lim = 1 << 20
+	}
+	if capLen > lim+65535 {
 		return Record{}, fmt.Errorf("pcap: implausible capture length %d", capLen)
 	}
 	var data []byte

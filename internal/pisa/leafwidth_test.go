@@ -1,0 +1,78 @@
+package pisa
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"github.com/fcmsketch/fcm/internal/core"
+	"github.com/fcmsketch/fcm/internal/hashing"
+)
+
+// TestSwitchLeafWidthPinsGeometry builds the hardware pipeline and a
+// software sketch from the same pinned leaf width, seed and hash mode, and
+// checks the pipeline is bit-identical to the software path after a
+// shared stream — the property the differential harness sweeps at scale,
+// pinned here as a fast unit test for both hash modes.
+func TestSwitchLeafWidthPinsGeometry(t *testing.T) {
+	for _, perTree := range []bool{false, true} {
+		name := "one-pass"
+		if perTree {
+			name = "per-tree"
+		}
+		t.Run(name, func(t *testing.T) {
+			const seed = 42
+			sw, err := NewSwitch(SwitchConfig{
+				Program: ProgramFCM, Trees: 2, K: 8, Widths: []int{8, 16, 32},
+				LeafWidth: 512, Seed: seed, PerTreeHash: perTree,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := core.New(core.Config{
+				K: 8, Trees: 2, Widths: []int{8, 16, 32}, LeafWidth: 512,
+				Hash:        hashing.NewBobFamily(0xfc3141 ^ seed),
+				PerTreeHash: perTree,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sw.Sketch().LeafWidth(); got != 512 {
+				t.Fatalf("pipeline leaf width %d, want pinned 512", got)
+			}
+			var key [4]byte
+			for f := uint32(0); f < 3000; f++ {
+				binary.BigEndian.PutUint32(key[:], f%257)
+				sw.Update(key[:], 1)
+				ref.Update(key[:], 1)
+			}
+			if d := ref.FirstRegisterDiff(sw.Sketch()); d != "" {
+				t.Fatalf("pipeline diverged from software sketch: %s", d)
+			}
+		})
+	}
+}
+
+// TestSwitchLeafWidthRejectsCMTopK: LeafWidth describes FCM tree geometry;
+// the CM program must refuse it rather than ignore it.
+func TestSwitchLeafWidthRejectsCMTopK(t *testing.T) {
+	_, err := NewSwitch(SwitchConfig{Program: ProgramCMTopK, LeafWidth: 512})
+	if err == nil {
+		t.Fatal("ProgramCMTopK accepted LeafWidth")
+	}
+}
+
+// TestSwitchLeafWidthWithTopKFilter: a pinned leaf width plus a Top-K
+// filter must work without a MemoryBytes budget — the sketch size is
+// implied by the geometry, and the filter carves nothing from it.
+func TestSwitchLeafWidthWithTopKFilter(t *testing.T) {
+	sw, err := NewSwitch(SwitchConfig{
+		Program: ProgramFCMTopK, Trees: 2, K: 16, Widths: []int{8, 16, 32},
+		LeafWidth: 2048, TopKEntries: 64, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Sketch().LeafWidth(); got != 2048 {
+		t.Fatalf("pipeline leaf width %d, want pinned 2048", got)
+	}
+}

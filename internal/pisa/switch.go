@@ -30,6 +30,17 @@ type SwitchConfig struct {
 	// MemoryBytes is the sketch budget (filter carved out first for the
 	// TopK programs).
 	MemoryBytes int
+	// LeafWidth pins w1 (stage-1 nodes per tree) directly instead of
+	// solving it from MemoryBytes — exactly one of the two must be set for
+	// the FCM programs. Pinning the leaf width lets a software sketch and
+	// the hardware pipeline be built with byte-for-byte identical
+	// geometry, which is what the differential harness asserts on.
+	LeafWidth int
+	// PerTreeHash forces one independent hash evaluation per tree, the
+	// same mode switch as fcm.Config.PerTreeHash. It must match the
+	// software sketch's mode for the data planes to be bit-identical
+	// (the two modes place counters differently).
+	PerTreeHash bool
 	// Trees, K, Widths configure the FCM programs (defaults 2, 8/16 per
 	// the paper, 8/16/32 bits).
 	Trees  int
@@ -102,6 +113,9 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 
 	sw := &Switch{}
 	mem := cfg.MemoryBytes
+	if cfg.LeafWidth > 0 && cfg.Program == ProgramCMTopK {
+		return nil, fmt.Errorf("pisa: LeafWidth requires an FCM program, got %s", cfg.Program)
+	}
 
 	if cfg.Program == ProgramFCMTopK || cfg.Program == ProgramCMTopK {
 		entries := cfg.TopKEntries
@@ -120,9 +134,14 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 		}
 		sw.filter = f
 		mem -= f.MemoryBytes()
-		if mem <= 0 {
+		// With a pinned LeafWidth the sketch budget is implied by the
+		// geometry, so no memory remains to be carved from.
+		if mem <= 0 && cfg.LeafWidth == 0 {
 			return nil, fmt.Errorf("pisa: memory %dB leaves nothing after a %dB filter",
 				cfg.MemoryBytes, f.MemoryBytes())
+		}
+		if cfg.LeafWidth > 0 {
+			mem = 0
 		}
 	}
 
@@ -133,7 +152,9 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 			Trees:       cfg.Trees,
 			Widths:      cfg.Widths,
 			MemoryBytes: mem,
+			LeafWidth:   cfg.LeafWidth,
 			Hash:        hashing.NewBobFamily(0xfc3141 ^ cfg.Seed),
+			PerTreeHash: cfg.PerTreeHash,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pisa: sketch: %w", err)

@@ -39,7 +39,7 @@ func replaySketch(t *testing.T) *core.Sketch {
 // TestReplayMatchesGroundTruth: Replay must deliver exactly the trace's
 // per-flow packet counts, once per packet, in arrival order semantics.
 func TestReplayMatchesGroundTruth(t *testing.T) {
-	tr, err := CAIDALike(20_000, 11)
+	tr, err := CAIDALike(20_000, testSeed(t, 11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestReplayMatchesGroundTruth(t *testing.T) {
 // multiset of updates as the unbatched one, including the final short
 // batch, across batch sizes that do and do not divide the packet count.
 func TestBatchReplayerMatchesReplay(t *testing.T) {
-	tr, err := CAIDALike(10_007, 12)
+	tr, err := CAIDALike(10_007, testSeed(t, 12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestBatchReplayerMatchesReplay(t *testing.T) {
 // batch path must not allocate at all — the acceptance criterion for the
 // zero-alloc replay loop.
 func TestBatchReplayerZeroAllocs(t *testing.T) {
-	tr, err := CAIDALike(20_000, 13)
+	tr, err := CAIDALike(20_000, testSeed(t, 13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestBatchReplayerZeroAllocs(t *testing.T) {
 // TestReplayZeroAllocs: even the unbatched replay loop is allocation-free,
 // since key views point into the trace's key table.
 func TestReplayZeroAllocs(t *testing.T) {
-	tr, err := CAIDALike(20_000, 14)
+	tr, err := CAIDALike(20_000, testSeed(t, 14))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestReplayZeroAllocs(t *testing.T) {
 // TestReplayPcapMatchesReadPcap: streaming a capture straight into an
 // updater must count exactly what materializing the Trace first would.
 func TestReplayPcapMatchesReadPcap(t *testing.T) {
-	tr, err := CAIDALike(5_000, 15)
+	tr, err := CAIDALike(5_000, testSeed(t, 15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestReplayPcapMatchesReadPcap(t *testing.T) {
 // costs a fixed handful of allocations; amortized over the capture they
 // must vanish.
 func TestReplayPcapPerPacketAllocs(t *testing.T) {
-	tr, err := CAIDALike(20_000, 16)
+	tr, err := CAIDALike(20_000, testSeed(t, 16))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,25 @@
+package trace
+
+import (
+	"flag"
+	"testing"
+)
+
+// flagSeed overrides the generation seed of every randomized test in this
+// package, so a failure seen in one trace shape reproduces directly:
+//
+//	go test ./internal/trace -run <TestName> -seed <printed seed>
+var flagSeed = flag.Int64("seed", 0, "override the seed of every randomized trace test")
+
+// testSeed returns the seed a randomized test should generate with: the
+// -seed override when set, otherwise def. Either way the choice is logged,
+// so every failure report carries the one number needed to replay it.
+func testSeed(tb testing.TB, def int64) int64 {
+	tb.Helper()
+	s := def
+	if *flagSeed != 0 {
+		s = *flagSeed
+	}
+	tb.Logf("trace seed %d (override with -seed)", s)
+	return s
+}

@@ -11,7 +11,7 @@ import (
 func TestGenerateRankZipf(t *testing.T) {
 	tr, err := Generate(Config{
 		Model: ModelRankZipf, Alpha: 1.0, TotalPackets: 100000,
-		AvgFlowSize: 40, Seed: 1,
+		AvgFlowSize: 40, Seed: testSeed(t, 1),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +36,8 @@ func TestGenerateRankZipf(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	cfg := Config{Model: ModelSizeZipf, Alpha: 1.3, TotalPackets: 20000, Seed: 7, Shuffle: true}
+	seed := testSeed(t, 7)
+	cfg := Config{Model: ModelSizeZipf, Alpha: 1.3, TotalPackets: 20000, Seed: seed, Shuffle: true}
 	a, err := Generate(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +54,7 @@ func TestGenerateDeterministic(t *testing.T) {
 			t.Fatalf("same seed produced different order at %d", i)
 		}
 	}
-	c, err := Generate(Config{Model: ModelSizeZipf, Alpha: 1.3, TotalPackets: 20000, Seed: 8, Shuffle: true})
+	c, err := Generate(Config{Model: ModelSizeZipf, Alpha: 1.3, TotalPackets: 20000, Seed: seed + 1, Shuffle: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestSizeZipfMeanAndMax(t *testing.T) {
 	for _, c := range cases {
 		tr, err := Generate(Config{
 			Model: ModelSizeZipf, Alpha: c.alpha, TotalPackets: 500000,
-			AvgFlowSize: 50, Seed: 3,
+			AvgFlowSize: 50, Seed: testSeed(t, 3),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -110,7 +111,7 @@ func TestSolveSmaxMonotone(t *testing.T) {
 }
 
 func TestSizesMatchOrder(t *testing.T) {
-	tr, err := CAIDALike(50000, 2)
+	tr, err := CAIDALike(50000, testSeed(t, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestSizesMatchOrder(t *testing.T) {
 }
 
 func TestKeysDistinct(t *testing.T) {
-	tr, err := CAIDALike(20000, 4)
+	tr, err := CAIDALike(20000, testSeed(t, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestKeysDistinct(t *testing.T) {
 }
 
 func TestTrueCounts(t *testing.T) {
-	tr, err := CAIDALike(20000, 5)
+	tr, err := CAIDALike(20000, testSeed(t, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestTrueCounts(t *testing.T) {
 }
 
 func TestWindows(t *testing.T) {
-	tr, err := CAIDALike(30000, 6)
+	tr, err := CAIDALike(30000, testSeed(t, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestMaxSize(t *testing.T) {
 }
 
 func TestPcapRoundTrip(t *testing.T) {
-	tr, err := CAIDALike(5000, 9)
+	tr, err := CAIDALike(5000, testSeed(t, 9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestGenerateErrors(t *testing.T) {
 }
 
 func TestShuffleChangesOrder(t *testing.T) {
-	base := Config{Model: ModelRankZipf, Alpha: 1.0, TotalPackets: 10000, AvgFlowSize: 10, Seed: 1}
+	base := Config{Model: ModelRankZipf, Alpha: 1.0, TotalPackets: 10000, AvgFlowSize: 10, Seed: testSeed(t, 1)}
 	a, _ := Generate(base)
 	base.Shuffle = true
 	b, _ := Generate(base)
@@ -268,7 +269,7 @@ func BenchmarkGenerateCAIDALike(b *testing.B) {
 func TestGenerateFiveTupleKeys(t *testing.T) {
 	tr, err := Generate(Config{
 		Model: ModelRankZipf, Alpha: 1.0, TotalPackets: 20000,
-		AvgFlowSize: 20, Seed: 3, KeyKind: packet.KeyFiveTuple,
+		AvgFlowSize: 20, Seed: testSeed(t, 3), KeyKind: packet.KeyFiveTuple,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -300,7 +301,7 @@ func TestGenerateFiveTupleKeys(t *testing.T) {
 func TestFiveTuplePcapPreservesKeys(t *testing.T) {
 	tr, err := Generate(Config{
 		Model: ModelRankZipf, Alpha: 1.0, TotalPackets: 5000,
-		AvgFlowSize: 10, Seed: 11, KeyKind: packet.KeyFiveTuple,
+		AvgFlowSize: 10, Seed: testSeed(t, 11), KeyKind: packet.KeyFiveTuple,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,79 @@
+package fcm_test
+
+import (
+	"strings"
+	"testing"
+
+	fcm "github.com/fcmsketch/fcm"
+)
+
+// The public API must surface the hash-mode seam everywhere sketches can
+// be combined: Sketch.Merge, Sharded.MergeFrom and Framework.Absorb. A
+// mode or seed mismatch silently accepted at any of these would corrupt
+// merged windows, so each is pinned here.
+
+func newModeSketch(t *testing.T, perTree bool, seed uint32) *fcm.Sketch {
+	t.Helper()
+	s, err := fcm.NewSketch(fcm.Config{LeafWidth: 512, Seed: seed, PerTreeHash: perTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSketchMergeRefusesModeMismatch(t *testing.T) {
+	a := newModeSketch(t, false, 3)
+	b := newModeSketch(t, true, 3)
+	err := a.Merge(b)
+	if err == nil {
+		t.Fatal("Merge accepted a per-tree sketch into a one-pass sketch")
+	}
+	if !strings.Contains(err.Error(), "config mismatch") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestSketchMergeRefusesSeedMismatch(t *testing.T) {
+	a := newModeSketch(t, false, 3)
+	b := newModeSketch(t, false, 4)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("Merge accepted sketches with different seeds")
+	}
+}
+
+func TestShardedMergeFromRefusesModeMismatch(t *testing.T) {
+	sh, err := fcm.NewSharded(fcm.Config{LeafWidth: 512, Seed: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.MergeFrom(newModeSketch(t, true, 3)); err == nil {
+		t.Fatal("MergeFrom accepted a per-tree sketch into a one-pass sharded sketch")
+	}
+	if err := sh.MergeFrom(newModeSketch(t, false, 9)); err == nil {
+		t.Fatal("MergeFrom accepted a sketch with a different seed")
+	}
+	if err := sh.MergeFrom(newModeSketch(t, false, 3)); err != nil {
+		t.Fatalf("MergeFrom refused a compatible sketch: %v", err)
+	}
+}
+
+func TestFrameworkAbsorbRefusesModeMismatch(t *testing.T) {
+	fw, err := fcm.NewFramework(fcm.Config{LeafWidth: 512, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Absorb(newModeSketch(t, true, 3), 10); err == nil {
+		t.Fatal("Absorb accepted a per-tree sketch into a one-pass framework")
+	}
+	if err := fw.Absorb(newModeSketch(t, false, 5), 10); err == nil {
+		t.Fatal("Absorb accepted a sketch with a different seed")
+	}
+	remote := newModeSketch(t, false, 3)
+	remote.Update([]byte{1, 2, 3, 4}, 7)
+	if err := fw.Absorb(remote, 7); err != nil {
+		t.Fatalf("Absorb refused a compatible sketch: %v", err)
+	}
+	if got := fw.Estimate([]byte{1, 2, 3, 4}); got < 7 {
+		t.Fatalf("absorbed count not visible: estimate %d < 7", got)
+	}
+}
