@@ -26,9 +26,19 @@ go test -count=1 -run 'Allocs' \
 # Hot-path gate, part 2: bench smoke. One iteration of every ingest
 # benchmark — not a perf measurement (CI boxes are noisy), just a gate
 # that the benchmarks still compile and run, so the numbers recorded in
-# BENCH_hotpath.json stay regenerable.
+# BENCH_hotpath.json and BENCH_compact.json stay regenerable.
 go test -run 'NOMATCH' -bench 'IngestFCM|UpdateBatchFCM|ReplayTraceFCM' \
   -benchtime 1x .
+
+# Lane-layout gate: the compact typed counter slabs (uint8/uint16/uint32
+# lanes) must stay register-exact against the 32-bit widening shim on every
+# path, under -race and uncached. Covers the in-package lane suite
+# (boundaries at 254/65534, resident-byte arithmetic, cross-layout merge and
+# clone), the difftest wide-shim invariant, the layout-independent codec
+# golden vector, and the resident-bytes telemetry gauges.
+go test -race -count=1 \
+  -run 'WideShim|CompactEqualsWide|TypedLanes|LaneRange|SaturationBoundaries|AcrossLayouts|SharesLayout|LayoutIndependent|ResidentBytes' \
+  ./internal/core/ ./internal/collect/ ./internal/engine/
 
 # Differential gate: the oracle-backed equivalence and metamorphic suite
 # (internal/difftest) under -race and uncached. This is the proof that all

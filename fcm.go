@@ -155,8 +155,13 @@ func (s *Sketch) HeavyHitters(candidates [][]byte, threshold uint64) map[string]
 	return hh
 }
 
-// MemoryBytes returns the counter storage footprint.
+// MemoryBytes returns the counter storage footprint as the paper accounts
+// it: the configured bit cost of every stage.
 func (s *Sketch) MemoryBytes() int { return s.s.MemoryBytes() }
+
+// ResidentBytes returns the bytes of counter storage actually allocated:
+// typed lanes cost 1, 2 or 4 bytes per node depending on stage width.
+func (s *Sketch) ResidentBytes() int { return s.s.ResidentBytes() }
 
 // Reset clears all counters for the next measurement window.
 func (s *Sketch) Reset() { s.s.Reset() }

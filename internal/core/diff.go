@@ -39,12 +39,14 @@ func (s *Sketch) FirstRegisterDiff(o *Sketch) string {
 	}
 	for ti := range s.trees {
 		a, b := s.trees[ti], o.trees[ti]
-		for l := range a.stages {
-			sa, sb := a.stages[l], b.stages[l]
-			for i := range sa {
-				if sa[i] != sb[i] {
+		for l := range a.views {
+			// load widens both sides to uint32, so the comparison is
+			// layout-independent: a compact sketch and the 32-bit widening
+			// shim compare equal exactly when their register values agree.
+			for i := 0; i < a.stageLen(l); i++ {
+				if va, vb := a.load(l, i), b.load(l, i); va != vb {
 					return fmt.Sprintf("tree %d stage %d index %d differs: %d vs %d",
-						ti, l, i, sa[i], sb[i])
+						ti, l, i, va, vb)
 				}
 			}
 		}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"github.com/fcmsketch/fcm/internal/hashing"
+	"github.com/fcmsketch/fcm/internal/sketch"
 )
 
 // Stats is the sketch's optional hot-path self-telemetry: update volume,
@@ -102,30 +103,81 @@ type Config struct {
 	// with a single tree it is a no-op. Not implementable on PISA (it
 	// needs all trees' reads before any write).
 	Conservative bool
+	// WideLanes stores every stage in the 32-bit lane — the pre-compaction
+	// uniform layout. Counter semantics (placement, marks, capacities) are
+	// bit-identical to the default compact layout; only the resident bytes
+	// differ. It exists as the widening reference shim for the
+	// differential harness and for memory-ablation benchmarks.
+	WideLanes bool
 }
 
 // DefaultWidths is the paper's byte-aligned stage layout.
 func DefaultWidths() []int { return []int{8, 16, 32} }
 
-// tree is a single k-ary FCM tree. All stages live in one contiguous
-// counter slab (leaves first), with per-stage views aliasing into it: the
-// update walk from a leaf to the root touches one small region of one
-// allocation instead of chasing per-stage slice headers.
+// laneKind selects which typed counter lane a stage's nodes live in.
+type laneKind uint8
+
+const (
+	laneU8  laneKind = iota // stage widths ≤ 8 bits: one byte per node
+	laneU16                 // 9–16 bits: two bytes per node
+	laneU32                 // 17–32 bits: four bytes per node
+)
+
+// laneKindFor returns the narrowest lane that holds a b-bit counter, or
+// the 32-bit lane when the widening shim is requested.
+func laneKindFor(b int, wide bool) laneKind {
+	switch {
+	case wide:
+		return laneU32
+	case b <= 8:
+		return laneU8
+	case b <= 16:
+		return laneU16
+	default:
+		return laneU32
+	}
+}
+
+// stageView locates one stage inside its typed lane.
+type stageView struct {
+	kind laneKind
+	base int // node offset inside the lane
+	n    int // node count
+}
+
+// tree is a single k-ary FCM tree. Stages live in three typed counter
+// lanes — bytes, uint16s and uint32s — each contiguous, leaves first
+// within a lane, so the paper's width-heterogeneous hardware layout (§3.1:
+// level 1 saturates at 254, level 2 at 65534) is also the software
+// resident layout: the leaf stage costs one byte per node instead of four,
+// and the update walk touches 1+2+4 bytes per tree instead of 12.
 type tree struct {
-	k      int
-	kshift uint       // log2(K) when K is a power of two; the parent step is then a shift
-	w0     int        // leaf-stage width, denormalized for the hot walk
-	slab   []uint32   // every stage's nodes, contiguous, leaves first
-	lims   []limits   // per-stage mark+max pairs: one bounds check per level in the hot walk
-	stages [][]uint32 // per-stage views into slab (cold paths: merge, conversion, collection)
-	max    []uint32   // counting capacity per stage: 2^b − 2
-	mark   []uint32   // overflow marker per stage: 2^b − 1
-	hasher hashing.Hasher
-	stats  *Stats // shared with the owning Sketch; nil = uninstrumented
+	// Hot-walk fields lead the struct so the unrolled walk's working set
+	// (three lane headers plus the denormalized limits) spans the fewest
+	// cache lines.
+	lane8  []uint8
+	lane16 []uint16
+	lane32 []uint32
+	kshift uint // log2(K) when K is a power of two; the parent step is then a shift
+	// std3 marks the hardware-shaped fast layout — exactly three stages,
+	// one whole stage per lane — whose walk is fully unrolled with each
+	// level's mark and capacity denormalized at the lane's native width.
+	std3     bool
+	m8, c8   uint8  // stage-0 overflow marker and counting capacity
+	m16, c16 uint16 // stage-1 overflow marker and counting capacity
+	cap32    uint32 // root counting capacity
+	k        int
+	w0       int         // leaf-stage width, denormalized for the hot walk
+	stats    *Stats      // shared with the owning Sketch; nil = uninstrumented
+	views    []stageView // per-stage lane placement (cold paths index through load/store)
+	lims     []limits    // per-stage mark+max pairs for the generic walk
+	max      []uint32    // counting capacity per stage: 2^b − 2
+	mark     []uint32    // overflow marker per stage: 2^b − 1
+	hasher   hashing.Hasher
 }
 
 // limits pairs a stage's overflow marker with its counting capacity so the
-// hot walk reads both with a single slice access.
+// generic walk reads both with a single slice access.
 type limits struct {
 	mark, max uint32
 }
@@ -138,6 +190,72 @@ func (t *tree) parent(idx int) int {
 	return idx / t.k
 }
 
+// initLanes allocates the typed counter lanes and builds the per-stage
+// views for a tree of the sketch's geometry — the one place (shared by New
+// and Clone) that knows how stages pack into lanes.
+func (s *Sketch) initLanes(t *tree) {
+	var n8, n16, n32 int
+	w := s.w1
+	for _, b := range s.widths {
+		t.views = append(t.views, stageView{kind: laneKindFor(b, s.wideLanes), n: w})
+		switch t.views[len(t.views)-1].kind {
+		case laneU8:
+			t.views[len(t.views)-1].base = n8
+			n8 += w
+		case laneU16:
+			t.views[len(t.views)-1].base = n16
+			n16 += w
+		default:
+			t.views[len(t.views)-1].base = n32
+			n32 += w
+		}
+		w /= s.k
+	}
+	t.lane8 = make([]uint8, n8)
+	t.lane16 = make([]uint16, n16)
+	t.lane32 = make([]uint32, n32)
+
+	t.std3 = len(s.widths) == 3 &&
+		t.views[0].kind == laneU8 && t.views[1].kind == laneU16 && t.views[2].kind == laneU32
+	if t.std3 {
+		t.m8, t.c8 = uint8(t.mark[0]), uint8(t.max[0])
+		t.m16, t.c16 = uint16(t.mark[1]), uint16(t.max[1])
+		t.cap32 = t.max[2]
+	}
+}
+
+// load returns the value of node i of stage l at uniform 32-bit width.
+// Cold paths (merge, conversion, scans, collection) go through load/store;
+// the ingest walks address the lanes directly.
+func (t *tree) load(l, i int) uint32 {
+	sv := t.views[l]
+	switch sv.kind {
+	case laneU8:
+		return uint32(t.lane8[sv.base+i])
+	case laneU16:
+		return uint32(t.lane16[sv.base+i])
+	default:
+		return t.lane32[sv.base+i]
+	}
+}
+
+// store writes node i of stage l. v must fit the stage's width; callers
+// inside this package only store values bounded by the stage mark.
+func (t *tree) store(l, i int, v uint32) {
+	sv := t.views[l]
+	switch sv.kind {
+	case laneU8:
+		t.lane8[sv.base+i] = uint8(v)
+	case laneU16:
+		t.lane16[sv.base+i] = uint16(v)
+	default:
+		t.lane32[sv.base+i] = v
+	}
+}
+
+// stageLen returns the node count of stage l.
+func (t *tree) stageLen(l int) int { return t.views[l].n }
+
 // Sketch is a (possibly multi-tree) FCM-Sketch.
 type Sketch struct {
 	trees        []*tree
@@ -145,6 +263,10 @@ type Sketch struct {
 	widths       []int
 	w1           int
 	conservative bool
+	wideLanes    bool
+	// std3 mirrors the trees' fast-layout flag so the per-packet dispatch
+	// is one field read on the sketch already in cache.
+	std3 bool
 	// wide, when non-nil, selects one-pass multi-index hashing: a single
 	// lookup3 pass per packet yields every tree's leaf index (the concrete
 	// type devirtualizes the per-packet hash call). nil falls back to one
@@ -206,7 +328,13 @@ func New(cfg Config) (*Sketch, error) {
 	}
 	// Copy widths so a caller mutating its Config slice after New cannot
 	// corrupt the sketch geometry.
-	s := &Sketch{k: cfg.K, widths: append([]int(nil), widths...), w1: w1, conservative: cfg.Conservative}
+	s := &Sketch{
+		k:            cfg.K,
+		widths:       append([]int(nil), widths...),
+		w1:           w1,
+		conservative: cfg.Conservative,
+		wideLanes:    cfg.WideLanes,
+	}
 	if !cfg.PerTreeHash {
 		if wf, ok := fam.(hashing.WideFamily); ok {
 			s.wide = wf.Wide()
@@ -217,18 +345,8 @@ func New(cfg Config) (*Sketch, error) {
 		kshift = uint(bits.TrailingZeros(uint(cfg.K)))
 	}
 	for t := 0; t < cfg.Trees; t++ {
-		tr := &tree{k: cfg.K, kshift: kshift, hasher: fam.New(t)}
-		total := 0
-		w := w1
-		for range widths {
-			total += w
-			w /= cfg.K
-		}
-		tr.slab = make([]uint32, total)
-		w, off := w1, 0
+		tr := &tree{k: cfg.K, kshift: kshift, w0: w1, hasher: fam.New(t)}
 		for _, b := range widths {
-			tr.stages = append(tr.stages, tr.slab[off:off+w:off+w])
-			off += w
 			if cfg.FlagBitIndicator {
 				// Counting bits: b−1; the marker position stands in
 				// for the dedicated flag bit.
@@ -240,14 +358,14 @@ func New(cfg Config) (*Sketch, error) {
 				tr.mark = append(tr.mark, m)
 				tr.max = append(tr.max, m-1)
 			}
-			w /= cfg.K
 		}
-		tr.w0 = w1
 		for l := range tr.mark {
 			tr.lims = append(tr.lims, limits{mark: tr.mark[l], max: tr.max[l]})
 		}
+		s.initLanes(tr)
 		s.trees = append(s.trees, tr)
 	}
+	s.std3 = s.trees[0].std3
 	return s, nil
 }
 
@@ -295,8 +413,15 @@ func (s *Sketch) Update(key []byte, inc uint64) {
 		if ts := s.trees; len(ts) == 2 {
 			// The paper's default shape, with the lane derivations
 			// inlined (WideIndex itself is over the inlining budget).
-			ts[0].updateAt(hashing.WideIndex0(pc, pb, s.w1), inc)
-			ts[1].updateAt(hashing.WideIndex1(pc, pb, s.w1), inc)
+			i0 := hashing.WideIndex0(pc, pb, s.w1)
+			i1 := hashing.WideIndex1(pc, pb, s.w1)
+			if s.std3 {
+				ts[0].updateAt3(i0, inc)
+				ts[1].updateAt3(i1, inc)
+			} else {
+				ts[0].updateAtAny(i0, inc)
+				ts[1].updateAtAny(i1, inc)
+			}
 			return
 		}
 		for i, t := range s.trees {
@@ -331,10 +456,18 @@ func (s *Sketch) UpdateBatch(keys [][]byte, inc uint64) {
 	if w := s.wide; w != nil {
 		if ts := s.trees; len(ts) == 2 {
 			t0, t1, w1 := ts[0], ts[1], s.w1
+			if s.std3 {
+				for _, key := range keys {
+					pc, pb := w.Pair(key)
+					t0.updateAt3(hashing.WideIndex0(pc, pb, w1), inc)
+					t1.updateAt3(hashing.WideIndex1(pc, pb, w1), inc)
+				}
+				return
+			}
 			for _, key := range keys {
 				pc, pb := w.Pair(key)
-				t0.updateAt(hashing.WideIndex0(pc, pb, w1), inc)
-				t1.updateAt(hashing.WideIndex1(pc, pb, w1), inc)
+				t0.updateAtAny(hashing.WideIndex0(pc, pb, w1), inc)
+				t1.updateAtAny(hashing.WideIndex1(pc, pb, w1), inc)
 			}
 			return
 		}
@@ -356,7 +489,7 @@ func (s *Sketch) UpdateBatch(keys [][]byte, inc uint64) {
 // leafIndex returns the per-tree-hash leaf index for key (the fallback
 // when one-pass wide hashing is unavailable or disabled).
 func (t *tree) leafIndex(key []byte) int {
-	return hashing.Reduce(t.hasher.Hash(key), len(t.stages[0]))
+	return hashing.Reduce(t.hasher.Hash(key), t.w0)
 }
 
 // leafIndexes fills dst (length = number of trees) with every tree's leaf
@@ -408,53 +541,110 @@ func (s *Sketch) updateConservative(key []byte, inc uint64) {
 	}
 }
 
-// updateAt runs Algorithm 1's leaf-to-root walk from leaf index idx. The
-// walk addresses the contiguous slab through precomputed stage bases, and
-// the idx/K parent step is a shift whenever K is a power of two (the
-// paper's K=8/16 always is).
+// updateAt runs Algorithm 1's leaf-to-root walk from leaf index idx,
+// dispatching to the unrolled three-lane walk when the tree has the
+// hardware-shaped layout.
 func (t *tree) updateAt(idx int, inc uint64) {
-	slab, lims := t.slab, t.lims
+	if t.std3 {
+		t.updateAt3(idx, inc)
+		return
+	}
+	t.updateAtAny(idx, inc)
+}
+
+// updateAt3 is the walk for the standard three-stage layout, unrolled over
+// the byte, uint16 and uint32 lanes. Overflow checks compare against the
+// marker at the lane's native width (254/65534 for the paper's 8/16-bit
+// levels), and each level touches exactly one node of one lane — 1, 2 and
+// 4 bytes — so the whole walk usually stays inside two cache lines.
+func (t *tree) updateAt3(idx int, inc uint64) {
+	// Fields are read into locals before each lane store (a []uint8 store
+	// could alias the tree struct as far as the compiler knows, forcing
+	// reloads), and nothing a level doesn't need is touched before its
+	// early return: the dominant no-overflow leaf update reads exactly the
+	// lane header, the two denormalized limits and one byte.
+	lane8, m8 := t.lane8, t.m8
+	if v := lane8[idx]; v != m8 {
+		c := uint64(t.c8 - v)
+		if inc <= c {
+			lane8[idx] = v + uint8(inc)
+			return
+		}
+		lane8[idx] = m8
+		inc -= c
+		if st := t.stats; st != nil {
+			st.Promotions[0].Add(1)
+		}
+	}
 	kshift := t.kshift
+	if kshift != 0 {
+		idx >>= kshift
+	} else {
+		idx /= t.k
+	}
+	lane16, m16 := t.lane16, t.m16
+	if v := lane16[idx]; v != m16 {
+		c := uint64(t.c16 - v)
+		if inc <= c {
+			lane16[idx] = v + uint16(inc)
+			return
+		}
+		lane16[idx] = m16
+		inc -= c
+		if st := t.stats; st != nil {
+			st.Promotions[1].Add(1)
+		}
+	}
+	if kshift != 0 {
+		idx >>= kshift
+	} else {
+		idx /= t.k
+	}
+	// Root stage: saturate at the counting capacity.
+	lane32 := t.lane32
+	sum := uint64(lane32[idx]) + inc
+	if mx := uint64(t.cap32); sum > mx {
+		sum = mx
+		if st := t.stats; st != nil {
+			st.Saturations.Add(1)
+		}
+	}
+	lane32[idx] = uint32(sum)
+}
+
+// updateAtAny is the generic walk for non-standard geometries (sub-byte
+// widths, depth ≠ 3, the widening shim): per level it resolves the stage's
+// lane through load/store and checks the fused (mark,max) limits.
+func (t *tree) updateAtAny(idx int, inc uint64) {
+	lims := t.lims
 	last := len(lims) - 1
-	base := 0
-	width := t.w0
-	rem := inc
 	// Non-root stages; the root is peeled out of the loop because it
 	// saturates instead of promoting.
 	for l := 0; l < last; l++ {
-		j := base + idx
-		v := slab[j]
+		v := t.load(l, idx)
 		if lim := lims[l]; v != lim.mark {
 			capacity := uint64(lim.max - v)
-			if rem <= capacity {
-				slab[j] = v + uint32(rem)
+			if inc <= capacity {
+				t.store(l, idx, v+uint32(inc))
 				return
 			}
-			slab[j] = lim.mark
-			rem -= capacity
+			t.store(l, idx, lim.mark)
+			inc -= capacity
 			if t.stats != nil {
 				t.stats.Promotions[l].Add(1)
 			}
 		}
-		base += width
-		if kshift != 0 {
-			idx >>= kshift
-			width >>= kshift
-		} else {
-			idx /= t.k
-			width /= t.k
-		}
+		idx = t.parent(idx)
 	}
 	// Root stage: saturate at the counting capacity.
-	j := base + idx
-	sum := uint64(slab[j]) + rem
+	sum := uint64(t.load(last, idx)) + inc
 	if mx := uint64(lims[last].max); sum > mx {
 		sum = mx
 		if t.stats != nil {
 			t.stats.Saturations.Add(1)
 		}
 	}
-	slab[j] = uint32(sum)
+	t.store(last, idx, uint32(sum))
 }
 
 // Estimate implements sketch.Estimator: the count query of §3.2, minimized
@@ -463,6 +653,14 @@ func (s *Sketch) Estimate(key []byte) uint64 {
 	min := uint64(math.MaxUint64)
 	if w := s.wide; w != nil {
 		pc, pb := w.Pair(key)
+		if ts := s.trees; len(ts) == 2 && s.std3 {
+			v0 := ts[0].queryAt3(hashing.WideIndex0(pc, pb, s.w1))
+			v1 := ts[1].queryAt3(hashing.WideIndex1(pc, pb, s.w1))
+			if v1 < v0 {
+				return v1
+			}
+			return v0
+		}
 		for i, t := range s.trees {
 			if v := t.queryAt(hashing.WideIndex(pc, pb, i, s.w1)); v < min {
 				min = v
@@ -479,30 +677,49 @@ func (s *Sketch) Estimate(key []byte) uint64 {
 }
 
 // queryAt answers the count query of §3.2 from leaf index idx, walking the
-// slab like updateAt.
+// lanes like updateAt.
 func (t *tree) queryAt(idx int) uint64 {
-	slab, lims := t.slab, t.lims
-	kshift := t.kshift
+	if t.std3 {
+		return t.queryAt3(idx)
+	}
+	lims := t.lims
 	last := len(lims) - 1
-	base := 0
-	width := t.w0
 	est := uint64(0)
 	for l := 0; ; l++ {
-		v := slab[base+idx]
+		v := t.load(l, idx)
 		if l == last || v != lims[l].mark {
 			est += uint64(v)
 			return est
 		}
 		est += uint64(lims[l].max)
-		base += width
-		if kshift != 0 {
-			idx >>= kshift
-			width >>= kshift
-		} else {
-			idx /= t.k
-			width /= t.k
-		}
+		idx = t.parent(idx)
 	}
+}
+
+// queryAt3 is the count query unrolled over the three typed lanes.
+func (t *tree) queryAt3(idx int) uint64 {
+	kshift, k := t.kshift, t.k
+	v0 := t.lane8[idx]
+	if v0 != t.m8 {
+		return uint64(v0)
+	}
+	est := uint64(t.c8)
+	if kshift != 0 {
+		idx >>= kshift
+	} else {
+		idx /= k
+	}
+	v1 := t.lane16[idx]
+	if v1 != t.m16 {
+		return est + uint64(v1)
+	}
+	est += uint64(t.c16)
+	if kshift != 0 {
+		idx >>= kshift
+	} else {
+		idx /= k
+	}
+	return est + uint64(t.lane32[idx])
 }
 
 // Cardinality implements the Linear-Counting estimator of §3.3:
@@ -523,30 +740,67 @@ func (s *Sketch) Cardinality() float64 {
 func (s *Sketch) EmptyLeaves() float64 {
 	total := 0
 	for _, t := range s.trees {
-		for _, v := range t.stages[0] {
-			if v == 0 {
-				total++
+		sv := t.views[0]
+		switch sv.kind {
+		case laneU8:
+			for _, v := range t.lane8[sv.base : sv.base+sv.n] {
+				if v == 0 {
+					total++
+				}
+			}
+		case laneU16:
+			for _, v := range t.lane16[sv.base : sv.base+sv.n] {
+				if v == 0 {
+					total++
+				}
+			}
+		default:
+			for _, v := range t.lane32[sv.base : sv.base+sv.n] {
+				if v == 0 {
+					total++
+				}
 			}
 		}
 	}
 	return float64(total) / float64(len(s.trees))
 }
 
-// MemoryBytes implements sketch.Sized: the exact bit cost of all counters.
+// MemoryBytes implements sketch.Sized: the exact bit cost of all counters,
+// the way the paper accounts memory (a 2-bit stage costs 2 bits per node
+// regardless of the byte lane it resides in).
 func (s *Sketch) MemoryBytes() int {
 	bits := 0
 	for _, t := range s.trees {
-		for l, st := range t.stages {
-			bits += len(st) * s.widths[l]
+		for l := range t.views {
+			bits += t.views[l].n * s.widths[l]
 		}
 	}
 	return bits / 8
 }
 
+// ResidentBytes reports the bytes of counter storage actually allocated:
+// one byte per node in the byte lane, two in the uint16 lane, four in the
+// uint32 lane. For the paper's {8,16,32} geometry this is 1.3125·w1 per
+// tree versus 4.5625·w1 for the uniform 32-bit layout (≈29%); telemetry
+// exports it as fcm_sketch_resident_bytes.
+func (s *Sketch) ResidentBytes() int {
+	n := 0
+	for _, t := range s.trees {
+		n += len(t.lane8) + 2*len(t.lane16) + 4*len(t.lane32)
+	}
+	return n
+}
+
+// WideLanes reports whether the sketch stores every stage at uniform
+// 32-bit width (the widening shim) instead of the compact typed lanes.
+func (s *Sketch) WideLanes() bool { return s.wideLanes }
+
 // Reset implements sketch.Resettable.
 func (s *Sketch) Reset() {
 	for _, t := range s.trees {
-		clear(t.slab)
+		clear(t.lane8)
+		clear(t.lane16)
+		clear(t.lane32)
 	}
 }
 
@@ -562,6 +816,8 @@ func (s *Sketch) Clone() *Sketch {
 		widths:       append([]int(nil), s.widths...),
 		w1:           s.w1,
 		conservative: s.conservative,
+		wideLanes:    s.wideLanes,
+		std3:         s.std3,
 		wide:         s.wide, // stateless after construction, like hashers
 	}
 	for _, t := range s.trees {
@@ -569,18 +825,15 @@ func (s *Sketch) Clone() *Sketch {
 			k:      t.k,
 			kshift: t.kshift,
 			w0:     t.w0,
-			slab:   append([]uint32(nil), t.slab...),
 			lims:   append([]limits(nil), t.lims...),
 			max:    append([]uint32(nil), t.max...),
 			mark:   append([]uint32(nil), t.mark...),
 			hasher: t.hasher,
 		}
-		off := 0
-		for _, st := range t.stages {
-			w := len(st)
-			ct.stages = append(ct.stages, ct.slab[off:off+w:off+w])
-			off += w
-		}
+		c.initLanes(ct)
+		copy(ct.lane8, t.lane8)
+		copy(ct.lane16, t.lane16)
+		copy(ct.lane32, t.lane32)
 		c.trees = append(c.trees, ct)
 	}
 	return c
@@ -612,14 +865,14 @@ func (s *Sketch) Stats() *Stats { return s.stats }
 func (s *Sketch) StageOccupancy() []float64 {
 	occ := make([]float64, len(s.widths))
 	for _, t := range s.trees {
-		for l, st := range t.stages {
+		for l := range t.views {
 			nz := 0
-			for _, v := range st {
-				if v != 0 {
+			for i := 0; i < t.views[l].n; i++ {
+				if t.load(l, i) != 0 {
 					nz++
 				}
 			}
-			occ[l] += float64(nz) / float64(len(st))
+			occ[l] += float64(nz) / float64(t.views[l].n)
 		}
 	}
 	for l := range occ {
@@ -635,13 +888,13 @@ func (s *Sketch) OverflowedNodes() []int {
 	over := make([]int, len(s.widths))
 	last := len(s.widths) - 1
 	for _, t := range s.trees {
-		for l, st := range t.stages {
+		for l := range t.views {
 			bound := t.mark[l]
 			if l == last {
 				bound = t.max[l]
 			}
-			for _, v := range st {
-				if v >= bound {
+			for i := 0; i < t.views[l].n; i++ {
+				if t.load(l, i) >= bound {
 					over[l]++
 				}
 			}
@@ -668,19 +921,47 @@ func (s *Sketch) Widths() []int { return append([]int(nil), s.widths...) }
 // StageMax returns θ_l, the counting capacity 2^b−2 of stage l (0-based).
 func (s *Sketch) StageMax(l int) uint64 { return uint64(s.trees[0].max[l]) }
 
-// StageValues returns the raw node values of stage l of tree t. The slice
-// aliases internal state; callers must treat it as read-only. It exists for
-// the control-plane collector and the PISA compiler.
-func (s *Sketch) StageValues(t, l int) []uint32 { return s.trees[t].stages[l] }
+// StageValues returns the node values of stage l of tree t at uniform
+// 32-bit width — the control plane's view of the registers, used by the
+// collect codec and the PISA compiler. Stages resident in the 32-bit lane
+// alias internal state; narrower stages return a freshly widened copy.
+// Callers must treat the result as read-only either way; use
+// SetStageValues to write registers.
+func (s *Sketch) StageValues(t, l int) []uint32 {
+	tr := s.trees[t]
+	sv := tr.views[l]
+	switch sv.kind {
+	case laneU8:
+		return sketch.WidenU8(make([]uint32, sv.n), tr.lane8[sv.base:sv.base+sv.n])
+	case laneU16:
+		return sketch.WidenU16(make([]uint32, sv.n), tr.lane16[sv.base:sv.base+sv.n])
+	default:
+		return tr.lane32[sv.base : sv.base+sv.n : sv.base+sv.n]
+	}
+}
 
 // SetStageValues overwrites stage l of tree t, used when reconstructing a
-// sketch from a collected snapshot. The length must match.
+// sketch from a collected snapshot. The length must match, and every value
+// must fit the stage's resident lane (a snapshot taken from a real sketch
+// always does: stage values never exceed the overflow marker).
 func (s *Sketch) SetStageValues(t, l int, vals []uint32) error {
-	dst := s.trees[t].stages[l]
-	if len(vals) != len(dst) {
-		return fmt.Errorf("core: stage %d/%d length %d, want %d", t, l, len(vals), len(dst))
+	tr := s.trees[t]
+	sv := tr.views[l]
+	if len(vals) != sv.n {
+		return fmt.Errorf("core: stage %d/%d length %d, want %d", t, l, len(vals), sv.n)
 	}
-	copy(dst, vals)
+	switch sv.kind {
+	case laneU8:
+		if i := sketch.NarrowU8(tr.lane8[sv.base:sv.base+sv.n], vals); i >= 0 {
+			return fmt.Errorf("core: stage %d/%d value %d at index %d exceeds byte lane", t, l, vals[i], i)
+		}
+	case laneU16:
+		if i := sketch.NarrowU16(tr.lane16[sv.base:sv.base+sv.n], vals); i >= 0 {
+			return fmt.Errorf("core: stage %d/%d value %d at index %d exceeds uint16 lane", t, l, vals[i], i)
+		}
+	default:
+		copy(tr.lane32[sv.base:sv.base+sv.n], vals)
+	}
 	return nil
 }
 
@@ -690,10 +971,12 @@ func (s *Sketch) SetStageValues(t, l int, vals []uint32) error {
 // invariant the virtual-counter conversion must preserve.
 func (s *Sketch) TotalCount(t int) uint64 {
 	tr := s.trees[t]
+	last := len(tr.views) - 1
 	total := uint64(0)
-	for l, st := range tr.stages {
-		for _, v := range st {
-			if v == tr.mark[l] && l < len(tr.stages)-1 {
+	for l := range tr.views {
+		for i := 0; i < tr.views[l].n; i++ {
+			v := tr.load(l, i)
+			if v == tr.mark[l] && l < last {
 				total += uint64(tr.max[l])
 			} else {
 				total += uint64(v)

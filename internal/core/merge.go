@@ -27,15 +27,15 @@ func (s *Sketch) Merge(o *Sketch) error {
 		a, b := s.trees[ti], o.trees[ti]
 		carry := make([]uint64, s.w1)
 		for l := 0; l <= last; l++ {
-			stA, stB := a.stages[l], b.stages[l]
+			n := a.stageLen(l)
 			max := uint64(a.max[l])
 			mark := a.mark[l]
 			var nextCarry []uint64
 			if l < last {
-				nextCarry = make([]uint64, len(a.stages[l+1]))
+				nextCarry = make([]uint64, a.stageLen(l+1))
 			}
-			for i := range stA {
-				va, vb := stA[i], stB[i]
+			for i := 0; i < n; i++ {
+				va, vb := a.load(l, i), b.load(l, i)
 				c := carry[i]
 				overflowed := false
 				if l < last {
@@ -56,16 +56,16 @@ func (s *Sketch) Merge(o *Sketch) error {
 					if c > max {
 						c = max
 					}
-					stA[i] = uint32(c)
+					a.store(l, i, uint32(c))
 					continue
 				}
 				if overflowed || c > max {
-					stA[i] = mark
+					a.store(l, i, mark)
 					if c > max {
 						nextCarry[i/s.k] += c - max
 					}
 				} else {
-					stA[i] = uint32(c)
+					a.store(l, i, uint32(c))
 				}
 			}
 			carry = nextCarry

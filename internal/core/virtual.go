@@ -29,37 +29,38 @@ func (s *Sketch) VirtualCounters() [][]VirtualCounter {
 }
 
 func (t *tree) virtualCounters() []VirtualCounter {
-	last := len(t.stages) - 1
+	last := len(t.views) - 1
 	var vcs []VirtualCounter
 
 	// carryVal/carryDeg accumulate, for each node of the current stage,
 	// the total value and path count forwarded from overflowed children.
-	carryVal := make([]uint64, len(t.stages[0]))
-	carryDeg := make([]int, len(t.stages[0]))
+	carryVal := make([]uint64, t.stageLen(0))
+	carryDeg := make([]int, t.stageLen(0))
 	// Every leaf starts one path with no inherited carry.
 	for i := range carryDeg {
 		carryDeg[i] = 1
 	}
 
 	for l := 0; ; l++ {
-		st := t.stages[l]
+		n := t.stageLen(l)
 		if l == last {
 			// Root stage: everything that arrived here terminates.
-			for i, v := range st {
+			for i := 0; i < n; i++ {
 				if carryDeg[i] == 0 {
 					continue
 				}
 				vcs = append(vcs, VirtualCounter{
-					Value:  carryVal[i] + uint64(v),
+					Value:  carryVal[i] + uint64(t.load(l, i)),
 					Degree: carryDeg[i],
 					Level:  l + 1,
 				})
 			}
 			return vcs
 		}
-		nextVal := make([]uint64, len(t.stages[l+1]))
-		nextDeg := make([]int, len(t.stages[l+1]))
-		for i, v := range st {
+		nextVal := make([]uint64, t.stageLen(l+1))
+		nextDeg := make([]int, t.stageLen(l+1))
+		for i := 0; i < n; i++ {
+			v := t.load(l, i)
 			if carryDeg[i] == 0 {
 				continue // no path reaches this node
 			}

@@ -23,7 +23,7 @@ var updateCorpus = flag.Bool("update-corpus", false, "rewrite the checked-in fuz
 // random mutator takes a while to discover.
 func sketchOpsSeedPrograms() [][]byte {
 	var progs [][]byte
-	for geom := byte(0); geom < 4; geom++ {
+	for geom := byte(0); geom < 5; geom++ {
 		progs = append(progs,
 			// Update a few flows, snapshot-compare, estimate.
 			[]byte{geom, 0x00, 1, 5, 0x00, 2, 9, 0x00, 1, 5, 0x02, 0x06, 1, 0x06, 3},
@@ -41,6 +41,16 @@ func sketchOpsSeedPrograms() [][]byte {
 	}
 	hot = append(hot, 0x02, 0x06, 9)
 	progs = append(progs, hot)
+	// Saturation bursts on the {8,16,32} geometry (table index 4): one burst
+	// crosses the byte lane's 254 capacity, nine cross the uint16 lane's
+	// 65534, many walk the root toward its clamp — with a wide-shim compare
+	// and estimate after each phase.
+	burst := []byte{4, 0x07, 3, 0, 0x02, 0x06, 3}
+	for i := 0; i < 24; i++ {
+		burst = append(burst, 0x07, 3, 255)
+	}
+	burst = append(burst, 0x02, 0x06, 3, 0x03, 0x07, 3, 7, 0x02)
+	progs = append(progs, burst)
 	return progs
 }
 

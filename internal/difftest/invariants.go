@@ -50,6 +50,37 @@ func CheckBatchEqualsSerial(g Geometry, w *Workload, ref *core.Sketch, batch int
 	return requireEqual(fmt.Sprintf("batch(%d)", batch), ref, s)
 }
 
+// CheckCompactEqualsWide asserts the compact typed-lane storage (the
+// default layout: uint8/uint16 low stages, uint32 root) is register-exact
+// against the 32-bit widening shim on the same stream — through both the
+// serial and the batched ingest path. FirstRegisterDiff widens both sides
+// on load, so "" here means every counter holds the same value regardless
+// of the lane width it is stored at.
+func CheckCompactEqualsWide(g Geometry, w *Workload, ref *core.Sketch, batch int) error {
+	wide, err := g.NewWideCore()
+	if err != nil {
+		return err
+	}
+	for _, k := range w.Keys {
+		wide.Update(k, 1)
+	}
+	if err := requireEqual("wide shim (serial)", ref, wide); err != nil {
+		return err
+	}
+	wideBatch, err := g.NewWideCore()
+	if err != nil {
+		return err
+	}
+	for lo := 0; lo < len(w.Keys); lo += batch {
+		hi := lo + batch
+		if hi > len(w.Keys) {
+			hi = len(w.Keys)
+		}
+		wideBatch.UpdateBatch(w.Keys[lo:hi], 1)
+	}
+	return requireEqual(fmt.Sprintf("wide shim (batch %d)", batch), ref, wideBatch)
+}
+
 // CheckShardedEqualsSerial asserts the sharded engine — key-affinity
 // updates merged into one snapshot — is bit-identical to serial ingest.
 func CheckShardedEqualsSerial(g Geometry, w *Workload, ref *core.Sketch, shards int) error {
@@ -287,9 +318,9 @@ func CheckOracle(g Geometry, w *Workload, ref *core.Sketch, maxAvgRelErr float64
 }
 
 // CheckAll runs the full differential battery for one (geometry, workload)
-// pair: serial reference, then batch, sharded, engine-batcher, PISA, codec
-// and oracle checks. Parameters that need variety (batch size, shard count)
-// derive from the trial seed.
+// pair: serial reference, then batch, wide-shim layout, sharded,
+// engine-batcher, PISA, codec and oracle checks. Parameters that need
+// variety (batch size, shard count) derive from the trial seed.
 func CheckAll(g Geometry, w *Workload, seed int64) error {
 	ref, err := Serial(g, w)
 	if err != nil {
@@ -299,6 +330,9 @@ func CheckAll(g Geometry, w *Workload, seed int64) error {
 	shards := 1 + int((uint64(seed)>>16)%7)
 	windows := 2 + int((uint64(seed)>>32)%3)
 	if err := CheckBatchEqualsSerial(g, w, ref, batch); err != nil {
+		return err
+	}
+	if err := CheckCompactEqualsWide(g, w, ref, batch); err != nil {
 		return err
 	}
 	if err := CheckShardedEqualsSerial(g, w, ref, shards); err != nil {

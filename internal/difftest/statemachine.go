@@ -9,42 +9,64 @@ import (
 )
 
 // The sketch-ops state machine interprets an arbitrary byte string as a
-// program over two lockstep implementations — a serial core.Sketch and an
-// fcm.Sharded — plus an exact oracle. After every mutating op the machine
-// can be asked (by the program itself) to compare the sharded snapshot
-// against the serial sketch bit-for-bit and to re-validate the oracle's
-// one-sidedness, so any interleaving of Update/Merge/Rotate/Snapshot/Reset
-// that breaks equivalence is a fuzzing counterexample.
+// program over three lockstep implementations — a serial core.Sketch (the
+// compact typed-lane layout), an fcm.Sharded, and a serial sketch built on
+// the 32-bit widening shim — plus an exact oracle. After every mutating op
+// the machine can be asked (by the program itself) to compare the sharded
+// snapshot and the wide-shim sketch against the serial sketch bit-for-bit
+// and to re-validate the oracle's one-sidedness, so any interleaving of
+// Update/Merge/Rotate/Snapshot/Reset that breaks equivalence — including a
+// compact-lane divergence from the uniform 32-bit layout — is a fuzzing
+// counterexample.
 //
 // Opcodes (one byte, operands follow):
 //
-//	0x00 key inc  — Update(key, 1+inc%16) on both paths
+//	0x00 key inc  — Update(key, 1+inc%16) on all paths
 //	0x01 n        — UpdateBatch of the next n%32+1 derived keys, inc 1
-//	0x02          — Snapshot: sharded merge must equal serial bit-for-bit
-//	0x03          — Rotate: closed window must equal serial; both restart
-//	0x04 key inc  — Merge a side sketch holding one flow into both paths
-//	0x05          — Reset both paths and the oracle
-//	0x06 key      — Estimate: both paths agree and are ≥ the oracle
+//	0x02          — Snapshot: sharded merge and wide shim must equal serial
+//	0x03          — Rotate: closed window must equal serial; all restart
+//	0x04 key inc  — Merge a side sketch holding one flow into all paths
+//	0x05          — Reset all paths and the oracle
+//	0x06 key      — Estimate: all paths agree and are ≥ the oracle
+//	0x07 key n    — Saturation burst: Update(key, (1+n)·8192), driving the
+//	                byte lane across its 254 boundary immediately and the
+//	                uint16 lane across 65534 within a few repeats
 //
 // Anything else is a no-op, so every byte string is a valid program.
 
 // smGeometries is the geometry table programs index with their first byte.
 // Shapes are tiny so fuzz executions stay microseconds while still
-// overflowing into every stage.
+// overflowing into every stage. The {8,16,32} entry is the paper's
+// hardware layout at fuzz scale: its stages sit in three different lane
+// widths, so the 254/65534 saturation boundaries of the compact storage
+// are reachable by the burst opcode.
 var smGeometries = []Geometry{
 	{K: 2, Trees: 2, Widths: []int{2, 4, 8}, LeafWidth: 8, Seed: 1},
 	{K: 2, Trees: 1, Widths: []int{3, 5}, LeafWidth: 8, Seed: 2},
 	{K: 4, Trees: 2, Widths: []int{2, 5, 9}, LeafWidth: 16, Seed: 3},
 	{K: 2, Trees: 2, Widths: []int{2, 4, 8}, LeafWidth: 8, Seed: 4, PerTreeHash: true},
+	{K: 2, Trees: 2, Widths: []int{8, 16, 32}, LeafWidth: 8, Seed: 5},
 }
 
-// machine holds the lockstep state.
+// machine holds the lockstep state. wide is the 32-bit widening-shim twin
+// of serial: same geometry and hash placement, uniform uint32 storage.
 type machine struct {
 	g      Geometry
 	serial *core.Sketch
+	wide   *core.Sketch
 	shard  *fcm.Sharded
 	oracle map[uint32]uint64
 	keybuf [4]byte
+}
+
+// checkWide compares the wide-shim twin against the serial sketch; any
+// difference is a compact-lane storage bug (promotion mark read at the
+// wrong width, narrowing truncation, saturation clamp mismatch).
+func (m *machine) checkWide(step int) error {
+	if d := m.serial.FirstRegisterDiff(m.wide); d != "" {
+		return fmt.Errorf("step %d: wide shim diverged from compact lanes: %s", step, d)
+	}
+	return nil
 }
 
 // oneSidedOK reports whether one-sidedness is assertable: once any root
@@ -78,12 +100,16 @@ func RunSketchOps(program []byte) error {
 	if err != nil {
 		return fmt.Errorf("building serial sketch: %w", err)
 	}
+	wide, err := g.NewWideCore()
+	if err != nil {
+		return fmt.Errorf("building wide-shim sketch: %w", err)
+	}
 	shards := 1 + len(program)%4
 	sh, err := newSharded(g, shards)
 	if err != nil {
 		return fmt.Errorf("building sharded sketch: %w", err)
 	}
-	m := &machine{g: g, serial: serial, shard: sh, oracle: make(map[uint32]uint64)}
+	m := &machine{g: g, serial: serial, wide: wide, shard: sh, oracle: make(map[uint32]uint64)}
 
 	steps := 0
 	for i := 0; i < len(program) && steps < 4096; steps++ {
@@ -101,6 +127,7 @@ func RunSketchOps(program []byte) error {
 		case 0x00:
 			k, inc := m.key(arg()), uint64(1+arg()%16)
 			m.serial.Update(k, inc)
+			m.wide.Update(k, inc)
 			m.shard.Update(k, inc)
 			m.oracle[binary.BigEndian.Uint32(k)] += inc
 		case 0x01:
@@ -113,17 +140,25 @@ func RunSketchOps(program []byte) error {
 				m.oracle[binary.BigEndian.Uint32(kb)]++
 			}
 			m.serial.UpdateBatch(keys, 1)
+			m.wide.UpdateBatch(keys, 1)
 			m.shard.UpdateBatch(keys, 1)
 		case 0x02:
 			if d := m.serial.FirstRegisterDiff(m.shard.Snapshot().Core()); d != "" {
 				return fmt.Errorf("step %d: snapshot diverged from serial: %s", steps, d)
+			}
+			if err := m.checkWide(steps); err != nil {
+				return err
 			}
 		case 0x03:
 			closed := m.shard.Rotate()
 			if d := m.serial.FirstRegisterDiff(closed.Core()); d != "" {
 				return fmt.Errorf("step %d: rotated window diverged from serial: %s", steps, d)
 			}
+			if err := m.checkWide(steps); err != nil {
+				return err
+			}
 			m.serial.Reset()
+			m.wide.Reset()
 			clear(m.oracle)
 		case 0x04:
 			side, err := m.g.NewCore()
@@ -134,6 +169,11 @@ func RunSketchOps(program []byte) error {
 			side.Update(k, inc)
 			if err := m.serial.Merge(side); err != nil {
 				return fmt.Errorf("step %d: serial merge: %w", steps, err)
+			}
+			// Merging a compact side sketch into the wide shim exercises the
+			// cross-layout merge seam on every 0x04 op.
+			if err := m.wide.Merge(side); err != nil {
+				return fmt.Errorf("step %d: wide-shim merge: %w", steps, err)
 			}
 			sideFCM, err := fcm.NewSketch(fcm.Config{
 				K: m.g.K, Trees: m.g.Trees, Widths: m.g.Widths, LeafWidth: m.g.LeafWidth,
@@ -149,6 +189,7 @@ func RunSketchOps(program []byte) error {
 			m.oracle[binary.BigEndian.Uint32(k)] += inc
 		case 0x05:
 			m.serial.Reset()
+			m.wide.Reset()
 			m.shard.Reset()
 			clear(m.oracle)
 		case 0x06:
@@ -157,9 +198,22 @@ func RunSketchOps(program []byte) error {
 			if se != he {
 				return fmt.Errorf("step %d: estimate for %x: serial %d vs sharded %d", steps, k, se, he)
 			}
+			if we := m.wide.Estimate(k); se != we {
+				return fmt.Errorf("step %d: estimate for %x: compact %d vs wide shim %d", steps, k, se, we)
+			}
 			if want := m.oracle[binary.BigEndian.Uint32(k)]; se < want && m.oneSidedOK() {
 				return fmt.Errorf("step %d: estimate for %x underestimates: %d < exact %d", steps, k, se, want)
 			}
+		case 0x07:
+			// Saturation burst: a single large increment crosses the byte
+			// lane's 254 capacity immediately; repeats walk the uint16 lane
+			// to 65534 and onward to the root. Both layouts must promote and
+			// clamp identically at every boundary.
+			k, inc := m.key(arg()), uint64(1+arg())*8192
+			m.serial.Update(k, inc)
+			m.wide.Update(k, inc)
+			m.shard.Update(k, inc)
+			m.oracle[binary.BigEndian.Uint32(k)] += inc
 		}
 	}
 
@@ -167,6 +221,9 @@ func RunSketchOps(program []byte) error {
 	// every flow the program touched.
 	if d := m.serial.FirstRegisterDiff(m.shard.Snapshot().Core()); d != "" {
 		return fmt.Errorf("final state diverged from serial: %s", d)
+	}
+	if d := m.serial.FirstRegisterDiff(m.wide); d != "" {
+		return fmt.Errorf("final wide-shim state diverged from compact lanes: %s", d)
 	}
 	if m.oneSidedOK() {
 		var kb [4]byte

@@ -316,6 +316,20 @@ func (e *Engine) MemoryBytes() int {
 	return total
 }
 
+// ResidentBytes returns the combined bytes of counter storage actually
+// allocated by all shard replicas (the typed-lane footprint, as opposed to
+// MemoryBytes' configured bit cost).
+func (e *Engine) ResidentBytes() int {
+	total := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		total += sh.sk.ResidentBytes()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
 // SnapshotSketch implements the collect.Source contract: a consistent
 // copy-on-read register snapshot for the collection server.
 func (e *Engine) SnapshotSketch() *core.Sketch {

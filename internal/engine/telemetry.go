@@ -44,8 +44,11 @@ func (e *Engine) Instrument(reg *telemetry.Registry) {
 			func() float64 { return float64(st.Updates.Load()) })
 	}
 	reg.GaugeFunc("fcm_engine_memory_bytes",
-		"Combined counter footprint of all shard replicas.",
+		"Combined counter footprint of all shard replicas (configured bit cost).",
 		func() float64 { return float64(e.MemoryBytes()) })
+	reg.GaugeFunc("fcm_engine_resident_bytes",
+		"Combined bytes of counter storage actually allocated by all shard replicas (typed lanes).",
+		func() float64 { return float64(e.ResidentBytes()) })
 
 	e.snapSeconds = reg.Histogram("fcm_engine_snapshot_seconds",
 		"Latency of a full engine snapshot (per-shard register copies plus exact merge).", nil)
@@ -109,8 +112,11 @@ func registerSketchSeries(reg *telemetry.Registry, depth int, stats []*core.Stat
 		"Linear-Counting cardinality estimate of the current window.",
 		func() float64 { return probe.get().card })
 	reg.GaugeFunc("fcm_sketch_memory_bytes",
-		"Counter footprint of the logical sketch (one replica).",
+		"Counter footprint of the logical sketch (one replica), as the paper accounts it: exact bit cost.",
 		func() float64 { return probe.get().mem })
+	reg.GaugeFunc("fcm_sketch_resident_bytes",
+		"Bytes of counter storage actually allocated for one replica: typed lanes cost 1/2/4 bytes per node by stage width, not a uniform 4.",
+		func() float64 { return probe.get().resident })
 }
 
 // sketchProbe caches the expensive register scans behind a short TTL so
@@ -126,10 +132,11 @@ type sketchProbe struct {
 }
 
 type probeValues struct {
-	occ  []float64
-	over []int
-	card float64
-	mem  float64
+	occ      []float64
+	over     []int
+	card     float64
+	mem      float64
+	resident float64
 }
 
 // probeTTL bounds how stale scrape-time register scans may be.
@@ -143,10 +150,11 @@ func (p *sketchProbe) get() probeValues {
 	}
 	sk := p.snapshot()
 	p.v = probeValues{
-		occ:  sk.StageOccupancy(),
-		over: sk.OverflowedNodes(),
-		card: sk.Cardinality(),
-		mem:  float64(sk.MemoryBytes()),
+		occ:      sk.StageOccupancy(),
+		over:     sk.OverflowedNodes(),
+		card:     sk.Cardinality(),
+		mem:      float64(sk.MemoryBytes()),
+		resident: float64(sk.ResidentBytes()),
 	}
 	p.at = time.Now()
 	return p.v

@@ -52,6 +52,8 @@ func TestEngineInstrument(t *testing.T) {
 		"fcm_sketch_cardinality_estimate",
 		"fcm_sketch_memory_bytes",
 		"fcm_engine_memory_bytes",
+		"fcm_sketch_resident_bytes",
+		"fcm_engine_resident_bytes",
 		"fcm_engine_rotate_seconds_count 1",
 		"fcm_engine_snapshot_seconds_count 1",
 		"fcm_engine_merge_seconds_count 2",
@@ -71,6 +73,46 @@ func TestEngineInstrument(t *testing.T) {
 			if len(f) != 2 || f[1] < "0" {
 				t.Errorf("occupancy line %q", line)
 			}
+		}
+	}
+}
+
+// TestResidentBytesGauges pins the typed-lane resident gauges to the values
+// computed from the sketch itself: fcm_sketch_resident_bytes reports one
+// logical replica (the merged snapshot), fcm_engine_resident_bytes the sum
+// over all shard replicas. For the paper geometry {8,16,32} at K=8 with
+// w1=512 and 2 trees, a replica is 2*(512*1 + 64*2 + 8*4) = 1344 bytes.
+func TestResidentBytesGauges(t *testing.T) {
+	e, err := New(Config{Shards: 4, Build: build(geometries[0], 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	e.Instrument(reg)
+
+	sk, _ := e.Snapshot()
+	wantReplica := sk.ResidentBytes()
+	if wantReplica != 1344 {
+		t.Fatalf("replica resident bytes %d, want 1344 for the compact paper geometry", wantReplica)
+	}
+	if got := e.ResidentBytes(); got != 4*wantReplica {
+		t.Fatalf("engine resident bytes %d, want %d (4 shards)", got, 4*wantReplica)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fcm_sketch_resident_bytes 1344",
+		"fcm_engine_resident_bytes 5376",
+		// The bit-cost gauge must keep reporting the paper's accounting,
+		// which coincides with resident bytes for byte-aligned widths.
+		"fcm_sketch_memory_bytes 1344",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
 		}
 	}
 }

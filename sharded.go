@@ -136,6 +136,10 @@ func (s *Sharded) FlowSizeDistribution(opt *EMOptions) ([]float64, error) {
 // shard replicates the configured geometry).
 func (s *Sharded) MemoryBytes() int { return s.eng.MemoryBytes() }
 
+// ResidentBytes returns the combined bytes of counter storage actually
+// allocated across all shards (the typed-lane footprint).
+func (s *Sharded) ResidentBytes() int { return s.eng.ResidentBytes() }
+
 // Reset clears every shard for the next measurement window.
 func (s *Sharded) Reset() {
 	s.snapMu.Lock()
