@@ -40,6 +40,15 @@ go test -race -count=1 \
   -run 'WideShim|CompactEqualsWide|TypedLanes|LaneRange|SaturationBoundaries|AcrossLayouts|SharesLayout|LayoutIndependent|ResidentBytes' \
   ./internal/core/ ./internal/collect/ ./internal/engine/
 
+# Fleet gate: the 200+-switch two-level aggregation test under -race and
+# uncached — delta sessions end to end through faultnet faults, an
+# aggregator outage with member re-homing, heal, injected generation
+# loss, and bit-identity against a flat merge throughout. Also pins the
+# codec v3 golden vectors and the delta protocol suite alongside it.
+go test -race -count=1 \
+  -run 'Fleet|Delta|Aggregator|Scheduler|Gate' \
+  ./internal/collect/
+
 # Differential gate: the oracle-backed equivalence and metamorphic suite
 # (internal/difftest) under -race and uncached. This is the proof that all
 # four ingest paths — serial, batched, sharded, PISA — stay bit-identical
@@ -56,7 +65,11 @@ for target in FuzzSketchOps FuzzPcapIngest FuzzEMInput; do
   [ -d "$dir" ]
   [ -n "$(ls -A "$dir")" ]
 done
+dir="internal/collect/testdata/fuzz/FuzzDeltaFrame"
+[ -d "$dir" ]
+[ -n "$(ls -A "$dir")" ]
 go test -count=1 -run 'TestSeedCorpora' ./internal/difftest/
+go test -count=1 -run 'TestDeltaSeedCorpus' ./internal/collect/
 
 # Fuzz gate, part 2: short smoke runs of every native fuzz target — the
 # state-machine fuzzer over the ingest ops, the pcap differential fuzzer
@@ -66,6 +79,7 @@ go test -count=1 -run 'TestSeedCorpora' ./internal/difftest/
 go test -run NOMATCH -fuzz '^FuzzSketchOps$' -fuzztime 10s ./internal/difftest/
 go test -run NOMATCH -fuzz '^FuzzPcapIngest$' -fuzztime 10s ./internal/difftest/
 go test -run NOMATCH -fuzz '^FuzzEMInput$' -fuzztime 10s ./internal/difftest/
+go test -run NOMATCH -fuzz '^FuzzDeltaFrame$' -fuzztime 10s ./internal/collect/
 
 # Telemetry gate, part 1: the telemetry-plane suites race-enabled and
 # uncached — registry/export correctness, engine instrumentation, and the

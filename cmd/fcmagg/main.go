@@ -1,0 +1,189 @@
+// Command fcmagg runs the middle tier of a collection tree: it polls a
+// region of fcmswitch instances (staggered over the interval, fan-in
+// bounded, codec v3 deltas by default), keeps each member's latest sketch,
+// and serves the exact merge of the region on its own collection address —
+// so a controller polls one aggregator instead of N switches, and can
+// itself collect deltas of the merged state.
+//
+// The tree is lossless: FCM merge is exact, commutative and associative,
+// so aggregating per region and merging regions at the controller is
+// register-bit-identical to merging every switch flat. If an aggregator
+// dies, the controller re-homes its members (their addresses are in the
+// aggregator's /healthz) and the numbers cannot change — only the
+// collection path does.
+//
+// Usage:
+//
+//	fcmagg -members 10.0.0.1:9401,10.0.0.2:9401 -listen 127.0.0.1:9411
+//	fcmagg -members @region0.txt -interval 5s -max-in-flight 8 -delta=false
+//	fcmagg -members ... -listen :9411 -telemetry-addr :9412
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/fcmsketch/fcm/internal/collect"
+	"github.com/fcmsketch/fcm/internal/telemetry"
+)
+
+func main() {
+	var (
+		members  = flag.String("members", "", "comma-separated member switch addresses, or @file with one address per line (required)")
+		interval = flag.Duration("interval", 5*time.Second, "member collection period (first collections are staggered across one interval)")
+		timeout  = flag.Duration("timeout", 0, "per-member I/O deadline (default: the interval)")
+		retries  = flag.Int("retries", 1, "extra in-collect attempts per member read")
+		delta    = flag.Bool("delta", true, "collect members with the codec v3 delta protocol (falls back to v2 against old switches)")
+		inFlight = flag.Int("max-in-flight", 8, "max concurrent member collections (fan-in bound)")
+		jitter   = flag.Int64("jitter-seed", 1, "stagger jitter seed (decorrelates aggregators sharing an interval)")
+		listen   = flag.String("listen", "", "serve the merged region's registers on this TCP address")
+		readTO   = flag.Duration("read-timeout", 10*time.Second, "collection server per-frame read deadline")
+		writeTO  = flag.Duration("write-timeout", 10*time.Second, "collection server per-frame write deadline")
+		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "close collection connections idle this long")
+		maxConns = flag.Int("max-conns", 64, "max simultaneous collection connections (excess rejected and counted)")
+		maxSess  = flag.Int("max-sessions", 64, "max tracked codec v3 delta sessions (LRU-evicted beyond this)")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this HTTP address")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		version  = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println("fcmagg " + telemetry.Build().String())
+		return
+	}
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level, *logJSON)
+
+	addrs, err := parseMembers(*members)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	memberCfgs := make([]collect.PollerConfig, len(addrs))
+	for i, a := range addrs {
+		memberCfgs[i] = collect.PollerConfig{Addr: a}
+	}
+
+	agg, err := collect.NewAggregator(collect.AggregatorConfig{
+		Members:     memberCfgs,
+		Interval:    *interval,
+		Timeout:     *timeout,
+		Retries:     *retries,
+		Delta:       *delta,
+		MaxInFlight: *inFlight,
+		JitterSeed:  *jitter,
+		Logger:      logger,
+		OnMemberState: func(addr string, from, to collect.State) {
+			fmt.Fprintf(os.Stderr, "fcmagg: member %s: %s -> %s\n", addr, from, to)
+		},
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var srv *collect.Server
+	if *listen != "" {
+		srv, err = collect.NewServerConfig(*listen, agg, collect.ServerConfig{
+			ReadTimeout:  *readTO,
+			WriteTimeout: *writeTO,
+			IdleTimeout:  *idleTO,
+			MaxConns:     *maxConns,
+			MaxSessions:  *maxSess,
+			Logger:       logger,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("serving merged region on %s\n", srv.Addr())
+	}
+
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterProcessMetrics(reg)
+		telemetry.RegisterBuildInfo(reg, telemetry.Build())
+		agg.Instrument(reg, "")
+		if srv != nil {
+			srv.Instrument(reg, "")
+		}
+		mux := telemetry.NewMux(reg, "fcmagg", func() map[string]any {
+			st := agg.Stats()
+			extra := map[string]any{
+				"members":           strings.Join(agg.MemberAddrs(), ","),
+				"members_reporting": st.MembersReporting,
+				"generation":        st.Generation,
+			}
+			if srv != nil {
+				extra["collect_addr"] = srv.Addr()
+			}
+			return extra
+		})
+		addr, shutdownTel, err := telemetry.Serve(*telAddr, mux)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer shutdownTel() //nolint:errcheck // exiting anyway
+		fmt.Printf("telemetry on %s\n", addr)
+	}
+
+	logger.Info("fcmagg starting", telemetry.Build().LogGroup(),
+		"members", len(addrs), "interval", *interval, "delta", *delta)
+	if err := agg.Start(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("aggregating %d members every %s; SIGINT to stop\n", len(addrs), *interval)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	agg.Stop()
+	if srv != nil {
+		srv.Close() //nolint:errcheck // exiting anyway
+	}
+	st := agg.Stats()
+	fmt.Printf("stopped: %d/%d members reporting, %d member snapshots folded, %d merges served\n",
+		st.MembersReporting, st.Members, st.MemberSnapshots, st.Merges)
+}
+
+// parseMembers expands the -members flag: a comma-separated list, or
+// @path naming a file with one address per line (# comments allowed).
+func parseMembers(spec string) ([]string, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-members is required")
+	}
+	var raw []string
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return nil, fmt.Errorf("reading member file: %w", err)
+		}
+		raw = strings.Split(string(data), "\n")
+	} else {
+		raw = strings.Split(spec, ",")
+	}
+	addrs := make([]string, 0, len(raw))
+	for _, a := range raw {
+		a = strings.TrimSpace(a)
+		if a == "" || strings.HasPrefix(a, "#") {
+			continue
+		}
+		addrs = append(addrs, a)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("no member addresses in %q", spec)
+	}
+	return addrs, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fcmagg: "+format+"\n", args...)
+	os.Exit(1)
+}

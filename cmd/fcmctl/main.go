@@ -53,6 +53,7 @@ func main() {
 		dialTO   = flag.Duration("timeout", 5*time.Second, "connection dial timeout")
 		ioTO     = flag.Duration("io-timeout", 5*time.Second, "per-read/write deadline on the wire")
 		retries  = flag.Int("retries", 2, "extra attempts for the register read (reconnect + backoff)")
+		delta    = flag.Bool("delta", false, "use the codec v3 delta protocol: after the first full snapshot only changed registers cross the wire (falls back to v2 against old switches)")
 		poll     = flag.Duration("poll", 0, "collect repeatedly at this interval instead of once")
 		metrics  = flag.String("metrics", "", "scrape and pretty-print a telemetry endpoint (host:port) instead of collecting")
 		logLevel = flag.String("log-level", "warn", "log verbosity in -poll mode: debug | info | warn | error")
@@ -76,7 +77,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		runPoller(*addr, *poll, *ioTO, *retries, *reset,
+		runPoller(*addr, *poll, *ioTO, *retries, *reset, *delta,
 			telemetry.NewLogger(os.Stderr, level, false))
 		return
 	}
@@ -86,6 +87,7 @@ func main() {
 		DialTimeout: *dialTO,
 		IOTimeout:   *ioTO,
 		MaxRetries:  *retries,
+		Delta:       *delta,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -116,7 +118,7 @@ func main() {
 // runPoller is the -poll mode: the §4.4 periodic collection loop with
 // health tracking and skipped-window reporting. It runs until SIGINT or
 // SIGTERM.
-func runPoller(addr string, interval, timeout time.Duration, retries int, reset bool, logger *slog.Logger) {
+func runPoller(addr string, interval, timeout time.Duration, retries int, reset, delta bool, logger *slog.Logger) {
 	logger.Info("fcmctl poller starting", telemetry.Build().LogGroup(), "addr", addr)
 	p, err := collect.NewPoller(collect.PollerConfig{
 		Addr:     addr,
@@ -124,6 +126,7 @@ func runPoller(addr string, interval, timeout time.Duration, retries int, reset 
 		Timeout:  timeout,
 		Retries:  retries,
 		Reset:    reset,
+		Delta:    delta,
 		Logger:   logger,
 		OnWindow: func(snap *collect.Snapshot, skipped int) {
 			sk, err := snap.Restore(nil)

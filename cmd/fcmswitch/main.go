@@ -56,7 +56,8 @@ func main() {
 		readTO   = flag.Duration("read-timeout", 10*time.Second, "collection server per-frame read deadline")
 		writeTO  = flag.Duration("write-timeout", 10*time.Second, "collection server per-frame write deadline")
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "close collection connections idle this long")
-		maxConns = flag.Int("max-conns", 64, "max simultaneous collection connections")
+		maxConns = flag.Int("max-conns", 64, "max simultaneous collection connections (excess connections are rejected and counted)")
+		maxSess  = flag.Int("max-sessions", 64, "max tracked codec v3 delta sessions (LRU-evicted beyond this; an evicted collector just gets one full snapshot)")
 		hhThresh = flag.Uint64("hh", 0, "print heavy hitters at this threshold (TopK programs)")
 		emitP4   = flag.Bool("emit-p4", false, "print the generated P4 program for the FCM geometry and exit")
 		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this HTTP address")
@@ -145,6 +146,7 @@ func main() {
 			WriteTimeout: *writeTO,
 			IdleTimeout:  *idleTO,
 			MaxConns:     *maxConns,
+			MaxSessions:  *maxSess,
 			Logger:       logger,
 		})
 		if err != nil {

@@ -1,0 +1,266 @@
+package collect
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fcmsketch/fcm/internal/core"
+	"github.com/fcmsketch/fcm/internal/hashing"
+	"github.com/fcmsketch/fcm/internal/telemetry"
+)
+
+// Aggregator is the middle tier of a collection tree: it polls a region of
+// switches (through its own staggered Scheduler), keeps each member's
+// latest restored sketch, and re-exports the exact merge of the region as
+// a collect Source — so a controller polls one aggregator instead of N
+// switches, and an aggregator's own server can in turn serve deltas of the
+// merged state.
+//
+// The tree is lossless because FCM merge is exact, commutative and
+// associative (difftest proves all three): merging per-switch sketches at
+// an aggregator and merging aggregator outputs at the controller is
+// bit-identical to merging every switch flat, in any order. That is the
+// whole failure model — when an aggregator dies, the controller can poll
+// its members directly (or re-home them to another aggregator) and the
+// final registers cannot change, only the collection path does.
+type Aggregator struct {
+	cfg   AggregatorConfig
+	sched *Scheduler
+	log   *slog.Logger
+
+	mu     sync.Mutex
+	latest map[string]*core.Sketch // member addr → last restored sketch (immutable)
+	gen    uint64                  // bumped per stored member snapshot
+
+	memberSnaps   atomic.Uint64
+	merges        atomic.Uint64
+	resetRequests atomic.Uint64
+}
+
+// AggregatorConfig configures an Aggregator.
+type AggregatorConfig struct {
+	// Members are the region's switches: one PollerConfig per switch with
+	// at least Addr set. Interval, stagger, gate, logger and the snapshot
+	// callback are filled in by the aggregator (a member's own OnSnapshot,
+	// if set, is chained after the aggregator's).
+	Members []PollerConfig
+	// Interval is the member collection period (required unless every
+	// member sets its own).
+	Interval time.Duration
+	// Timeout, Retries and Delta apply to members that leave them zero;
+	// Delta makes member collection itself use codec v3.
+	Timeout time.Duration
+	Retries int
+	Delta   bool
+	// MaxInFlight bounds concurrent member collections (default 8).
+	MaxInFlight int
+	// JitterSeed decorrelates the member stagger; 0 means 1.
+	JitterSeed int64
+	// Family, when set, restores member sketches with the data plane's
+	// hash family so the merged sketch answers count queries locally. nil
+	// restores control-plane-only sketches (registers still merge and
+	// serve exactly).
+	Family hashing.Family
+	// OnMemberState observes member health transitions with the member's
+	// address — the hook a controller uses to detect dead members and
+	// re-home them. Called from collection goroutines.
+	OnMemberState func(addr string, from, to State)
+	// Logger receives structured records; nil discards them.
+	Logger *slog.Logger
+}
+
+// NewAggregator builds (but does not start) an aggregator.
+func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("collect: aggregator needs at least one member")
+	}
+	a := &Aggregator{
+		cfg:    cfg,
+		latest: make(map[string]*core.Sketch, len(cfg.Members)),
+		log:    telemetry.OrNop(cfg.Logger),
+	}
+	members := make([]PollerConfig, len(cfg.Members))
+	for i := range cfg.Members {
+		m := cfg.Members[i]
+		if m.Addr == "" {
+			return nil, fmt.Errorf("collect: aggregator member %d has no address", i)
+		}
+		if m.Timeout <= 0 {
+			m.Timeout = cfg.Timeout
+		}
+		if m.Retries == 0 {
+			m.Retries = cfg.Retries
+		}
+		if !m.Delta {
+			m.Delta = cfg.Delta
+		}
+		addr := m.Addr
+		chained := m.OnSnapshot
+		m.OnSnapshot = func(snap *Snapshot) {
+			a.storeMember(addr, snap)
+			if chained != nil {
+				chained(snap)
+			}
+		}
+		chainedState := m.OnStateChange
+		m.OnStateChange = func(from, to State) {
+			if cfg.OnMemberState != nil {
+				cfg.OnMemberState(addr, from, to)
+			}
+			if chainedState != nil {
+				chainedState(from, to)
+			}
+		}
+		members[i] = m
+	}
+	sched, err := NewScheduler(SchedulerConfig{
+		Interval:    cfg.Interval,
+		MaxInFlight: cfg.MaxInFlight,
+		JitterSeed:  cfg.JitterSeed,
+		Logger:      cfg.Logger,
+	}, members)
+	if err != nil {
+		return nil, err
+	}
+	a.sched = sched
+	return a, nil
+}
+
+// Start launches the member collection loops.
+func (a *Aggregator) Start() error { return a.sched.Start() }
+
+// Stop halts member collection. The last merged state stays serveable.
+func (a *Aggregator) Stop() { a.sched.Stop() }
+
+// Scheduler exposes the member scheduler (per-member poller stats and
+// health).
+func (a *Aggregator) Scheduler() *Scheduler { return a.sched }
+
+// MemberAddrs lists the member switch addresses (re-homing needs them).
+func (a *Aggregator) MemberAddrs() []string {
+	addrs := make([]string, 0, len(a.cfg.Members))
+	for i := range a.cfg.Members {
+		addrs = append(addrs, a.cfg.Members[i].Addr)
+	}
+	return addrs
+}
+
+// storeMember installs a member's freshest sketch. The restored sketch is
+// stored as an immutable value — SnapshotSketchGen merges from these
+// references outside the lock, so a stored sketch is never mutated.
+func (a *Aggregator) storeMember(addr string, snap *Snapshot) {
+	sk, err := snap.Restore(a.cfg.Family)
+	if err != nil {
+		a.log.Warn("aggregator dropped unrestorable member snapshot",
+			"member", addr, "err", err)
+		return
+	}
+	a.mu.Lock()
+	a.latest[addr] = sk
+	a.gen++
+	a.mu.Unlock()
+	a.memberSnaps.Add(1)
+}
+
+// SnapshotSketchGen implements GenerationalSource: the exact merge of
+// every member's latest sketch, stamped with a generation that advances
+// whenever any member contributes a new snapshot — equal generations mean
+// the same member sketches, hence bit-identical merges. Returns nil before
+// the first member snapshot arrives (the server answers an error status
+// and the controller retries).
+func (a *Aggregator) SnapshotSketchGen() (*core.Sketch, uint64) {
+	a.mu.Lock()
+	gen := a.gen
+	refs := make([]*core.Sketch, 0, len(a.latest))
+	for _, sk := range a.latest {
+		refs = append(refs, sk)
+	}
+	a.mu.Unlock()
+	if len(refs) == 0 {
+		return nil, 0
+	}
+	// Merge outside the lock: member updates keep landing while we fold.
+	// Map order is arbitrary but irrelevant — FCM merge is commutative and
+	// associative, so any order yields the same registers.
+	merged := refs[0].Clone()
+	for _, sk := range refs[1:] {
+		if err := merged.Merge(sk); err != nil {
+			// Geometry drift between members (mid-reconfiguration): serve
+			// nothing rather than a partial region.
+			a.log.Warn("aggregator member geometry mismatch, merge aborted", "err", err)
+			return nil, 0
+		}
+	}
+	a.merges.Add(1)
+	return merged, gen
+}
+
+// SnapshotSketch implements Source.
+func (a *Aggregator) SnapshotSketch() *core.Sketch {
+	sk, _ := a.SnapshotSketchGen()
+	return sk
+}
+
+// ResetSketch implements Source — as a logged no-op. Forwarding a reset to
+// N members is non-idempotent and partial failures would silently split
+// the window; rotation in a collection tree is leaf-driven (the pollers'
+// Reset flag rotates each switch after a successful read).
+func (a *Aggregator) ResetSketch() {
+	a.resetRequests.Add(1)
+	a.log.Warn("aggregator ignoring reset request: rotation is leaf-driven")
+}
+
+// AggregatorStats describe the aggregation tier.
+type AggregatorStats struct {
+	// Members is the configured member count; MembersReporting is how
+	// many have contributed at least one snapshot.
+	Members          int
+	MembersReporting int
+	// MemberSnapshots counts snapshots folded in from members.
+	MemberSnapshots uint64
+	// Merges counts merged exports served.
+	Merges uint64
+	// ResetRequests counts ignored reset requests.
+	ResetRequests uint64
+	// Generation is the current aggregation generation.
+	Generation uint64
+}
+
+// Stats returns the aggregator's counters.
+func (a *Aggregator) Stats() AggregatorStats {
+	a.mu.Lock()
+	reporting, gen := len(a.latest), a.gen
+	a.mu.Unlock()
+	return AggregatorStats{
+		Members:          len(a.cfg.Members),
+		MembersReporting: reporting,
+		MemberSnapshots:  a.memberSnaps.Load(),
+		Merges:           a.merges.Load(),
+		ResetRequests:    a.resetRequests.Load(),
+		Generation:       gen,
+	}
+}
+
+// Instrument registers the aggregator's series.
+func (a *Aggregator) Instrument(reg *telemetry.Registry, labels string) {
+	bind := statBinder{reg: reg, labels: labels}
+	bind.gauge("fcm_aggregator_members",
+		"Switches configured under this aggregator.",
+		func() float64 { return float64(a.Stats().Members) })
+	bind.gauge("fcm_aggregator_members_reporting",
+		"Members that have contributed at least one snapshot.",
+		func() float64 { return float64(a.Stats().MembersReporting) })
+	bind.counter("fcm_aggregator_member_snapshots_total",
+		"Member snapshots folded into the aggregate.",
+		func() float64 { return float64(a.Stats().MemberSnapshots) })
+	bind.counter("fcm_aggregator_merges_total",
+		"Merged region exports served.",
+		func() float64 { return float64(a.Stats().Merges) })
+	bind.counter("fcm_aggregator_reset_requests_total",
+		"Reset requests ignored (rotation is leaf-driven).",
+		func() float64 { return float64(a.Stats().ResetRequests) })
+	a.sched.Instrument(reg, labels)
+}

@@ -7,7 +7,9 @@ import (
 	"log/slog"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/fcmsketch/fcm/internal/telemetry"
@@ -41,6 +43,18 @@ type ClientConfig struct {
 	// Dial overrides the transport (e.g. to wrap connections with a
 	// fault injector). nil means net.DialTimeout("tcp", ...).
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Delta enables the codec v3 delta protocol: reads request only the
+	// registers changed since the last acked snapshot, falling back to a
+	// full snapshot on any baseline mismatch and downgrading permanently
+	// to v2 against servers that do not know the opcode. ReadSketch still
+	// returns complete snapshots either way — deltas are a transport
+	// optimization, invisible to callers.
+	Delta bool
+	// SessionID identifies this client in the server's delta session
+	// store. 0 draws a process-unique ID; set it explicitly when several
+	// controller processes poll the same switch (colliding IDs are safe —
+	// they just evict each other's baselines into full-snapshot fallbacks).
+	SessionID uint64
 	// Logger receives structured recovery records (redials, retries,
 	// decode failures); nil discards them.
 	Logger *slog.Logger
@@ -95,6 +109,19 @@ type ClientStats struct {
 	// DecodeFailures counts responses that framed cleanly but failed
 	// decoding (e.g. CRC mismatch from a corrupting link).
 	DecodeFailures uint64
+	// DeltasApplied counts v3 delta frames applied to the local baseline.
+	DeltasApplied uint64
+	// FullSnapshots counts full snapshots received on the v3 path (first
+	// poll and every fallback the server chose).
+	FullSnapshots uint64
+	// DeltaFallbacks counts client-side baseline invalidations: a delta
+	// arrived that could not be applied safely (unknown base generation,
+	// state-CRC mismatch, out-of-range block), so the baseline was
+	// discarded and the next request asked for a full snapshot.
+	DeltaFallbacks uint64
+	// V2Downgrades counts permanent downgrades to the v2 protocol after a
+	// server rejected OpReadDelta as unknown.
+	V2Downgrades uint64
 }
 
 // Client pulls snapshots from a Server over a reused connection. It
@@ -111,9 +138,24 @@ type Client struct {
 	dials          uint64
 	retries        uint64
 	decodeFailures uint64
+	deltasApplied  uint64
+	fullSnapshots  uint64
+	deltaFallbacks uint64
+	v2Downgrades   uint64
+
+	// Delta baseline (guarded by mu so InvalidateDeltaState may be called
+	// from another goroutine): the last snapshot whose generation the
+	// server has — or will, on our next request — see acked.
+	baseline      *Snapshot
+	baselineGen   uint64
+	haveBaseline  bool
+	v3Unsupported bool
 
 	log *slog.Logger
 }
+
+// nextSessionID hands out process-unique default delta session IDs.
+var nextSessionID atomic.Uint64
 
 // NewClient builds a client. The connection is established lazily on the
 // first operation (and re-established after failures).
@@ -122,6 +164,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, errors.New("collect: client needs an address")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Delta && cfg.SessionID == 0 {
+		cfg.SessionID = nextSessionID.Add(1)
+	}
 	return &Client{
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.JitterSeed)),
@@ -164,7 +209,23 @@ func (c *Client) Stats() ClientStats {
 		Dials:          c.dials,
 		Retries:        c.retries,
 		DecodeFailures: c.decodeFailures,
+		DeltasApplied:  c.deltasApplied,
+		FullSnapshots:  c.fullSnapshots,
+		DeltaFallbacks: c.deltaFallbacks,
+		V2Downgrades:   c.v2Downgrades,
 	}
+}
+
+// InvalidateDeltaState discards the client's delta baseline, as if the
+// acked generation had been lost: the next read declares no baseline and
+// receives a full snapshot (counted by the server as a no_baseline
+// fallback). Chaos tests use it to inject generation loss; it is also the
+// escape hatch if a baseline is ever suspected stale. Safe to call
+// concurrently with reads.
+func (c *Client) InvalidateDeltaState() {
+	c.mu.Lock()
+	c.baseline, c.baselineGen, c.haveBaseline = nil, 0, false
+	c.mu.Unlock()
 }
 
 // ReadSketch fetches a register snapshot, retrying per the config.
@@ -174,8 +235,32 @@ func (c *Client) ReadSketch() (*Snapshot, error) {
 
 // ReadSketchContext is ReadSketch bounded by ctx: cancellation interrupts
 // an in-flight network operation (the connection deadline is yanked), so
-// callers regain control within one operation, not one timeout.
+// callers regain control within one operation, not one timeout. With
+// Delta enabled it speaks codec v3 (the returned snapshot is still always
+// complete); a server that rejects the v3 opcode downgrades this client
+// to v2 permanently.
 func (c *Client) ReadSketchContext(ctx context.Context) (*Snapshot, error) {
+	if c.cfg.Delta {
+		c.mu.Lock()
+		unsupported := c.v3Unsupported
+		c.mu.Unlock()
+		if !unsupported {
+			snap, err := c.readDelta(ctx)
+			var se *ServerError
+			if err != nil && errors.As(err, &se) && strings.Contains(se.Msg, "unknown opcode") {
+				// Version downgrade: the server predates v3. Fall through
+				// to the v2 read below and stop asking.
+				c.mu.Lock()
+				c.v2Downgrades++
+				c.v3Unsupported = true
+				c.mu.Unlock()
+				c.log.Warn("server does not speak codec v3, downgrading to v2",
+					"addr", c.cfg.Addr)
+			} else {
+				return snap, err
+			}
+		}
+	}
 	// Decoding happens inside the retry loop: a snapshot that framed
 	// cleanly but fails its CRC (bit corruption in transit) is an attempt
 	// failure like any other — drop the tainted connection and retry.
@@ -194,6 +279,76 @@ func (c *Client) ReadSketchContext(ctx context.Context) (*Snapshot, error) {
 	return snap, nil
 }
 
+// readDelta runs one v3 read. The request is rebuilt per attempt: an
+// attempt that invalidated the baseline (bad delta) must ask for a full
+// snapshot on its retry, not re-request the same doomed delta.
+func (c *Client) readDelta(ctx context.Context) (*Snapshot, error) {
+	var snap *Snapshot
+	_, err := c.callReq(ctx, func() []byte {
+		c.mu.Lock()
+		req := encodeReadDelta(c.cfg.SessionID, c.haveBaseline, c.baselineGen)
+		c.mu.Unlock()
+		return req
+	}, true, func(payload []byte) error {
+		frame, err := DecodeDeltaFrame(payload)
+		if err != nil {
+			return err
+		}
+		s, err := c.applyDeltaFrame(frame)
+		if err != nil {
+			return err
+		}
+		snap = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// applyDeltaFrame folds one decoded v3 frame into the baseline and returns
+// the complete snapshot it represents (caller-owned). Any inconsistency —
+// a delta against a generation we do not hold, a block outside the
+// geometry, a post-apply state CRC that disagrees with the server's —
+// invalidates the baseline and errors, so the retry (or next poll)
+// requests a full snapshot. Wrong merges are structurally impossible: the
+// state CRC covers every register of the reconstructed snapshot.
+func (c *Client) applyDeltaFrame(frame *DeltaFrame) (*Snapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if frame.Full {
+		c.fullSnapshots++
+		c.baseline = frame.Snap.Clone()
+		c.baselineGen = frame.NewGen
+		c.haveBaseline = true
+		return frame.Snap, nil
+	}
+	if !c.haveBaseline || frame.BaseGen != c.baselineGen {
+		c.deltaFallbacks++
+		haveGen, had := c.baselineGen, c.haveBaseline
+		c.baseline, c.haveBaseline = nil, false
+		return nil, fmt.Errorf("collect: delta against generation %d, baseline is %d (have=%v)",
+			frame.BaseGen, haveGen, had)
+	}
+	next, err := ApplyDelta(c.baseline, frame.Blocks)
+	if err != nil {
+		c.deltaFallbacks++
+		c.baseline, c.haveBaseline = nil, false
+		return nil, err
+	}
+	if got := next.StateCRC(); got != frame.StateCRC {
+		c.deltaFallbacks++
+		c.baseline, c.haveBaseline = nil, false
+		return nil, fmt.Errorf("collect: state CRC after delta 0x%08x, server pinned 0x%08x",
+			got, frame.StateCRC)
+	}
+	c.deltasApplied++
+	c.baseline = next
+	c.baselineGen = frame.NewGen
+	return next.Clone(), nil
+}
+
 // ResetSketch clears the data plane's registers (window rotation). It is
 // never retried — see ClientConfig.MaxRetries.
 func (c *Client) ResetSketch() error {
@@ -206,28 +361,38 @@ func (c *Client) ResetSketchContext(ctx context.Context) error {
 	return err
 }
 
-// call runs one request with the retry policy. decode, when non-nil,
-// validates the response payload; a decode failure counts as an attempt
-// failure — the connection that produced it is dropped (its fault may be
-// persistent, e.g. a corrupting link) and idempotent requests retry.
+// call runs one fixed request with the retry policy.
 func (c *Client) call(ctx context.Context, req []byte, idempotent bool, decode func([]byte) error) ([]byte, error) {
+	return c.callReq(ctx, func() []byte { return req }, idempotent, decode)
+}
+
+// callReq runs one request with the retry policy, rebuilding the request
+// bytes per attempt (delta reads mutate their own baseline state on
+// failure, so the retry must re-ask from current state). decode, when
+// non-nil, validates the response payload; a decode failure counts as an
+// attempt failure — the connection that produced it is dropped (its fault
+// may be persistent, e.g. a corrupting link) and idempotent requests
+// retry. On exhaustion the error joins every attempt's failure, so a
+// flapping link, a CRC rejection, and a timeout in the same read are all
+// diagnosable from the one message.
+func (c *Client) callReq(ctx context.Context, buildReq func() []byte, idempotent bool, decode func([]byte) error) ([]byte, error) {
 	attempts := 1
 	if idempotent {
 		attempts += c.cfg.MaxRetries
 	}
-	var lastErr error
+	var attemptErrs []error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			c.mu.Lock()
 			c.retries++
 			c.mu.Unlock()
 			c.log.Debug("retrying read",
-				"attempt", attempt, "max", attempts-1, "last_err", lastErr)
+				"attempt", attempt, "max", attempts-1, "last_err", attemptErrs[len(attemptErrs)-1])
 			if err := c.backoff(ctx, attempt); err != nil {
-				return nil, err
+				return nil, errors.Join(append(attemptErrs, err)...)
 			}
 		}
-		payload, err := c.attempt(ctx, req)
+		payload, err := c.attempt(ctx, buildReq())
 		if err == nil && decode != nil {
 			if derr := decode(payload); derr != nil {
 				c.mu.Lock()
@@ -241,15 +406,15 @@ func (c *Client) call(ctx context.Context, req []byte, idempotent bool, decode f
 		if err == nil {
 			return payload, nil
 		}
-		lastErr = err
+		attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", attempt+1, err))
 		var se *ServerError
 		if errors.As(err, &se) || ctx.Err() != nil {
 			// Deterministic rejection or caller cancellation: retrying
 			// cannot help.
-			return nil, err
+			return nil, errors.Join(attemptErrs...)
 		}
 	}
-	return nil, lastErr
+	return nil, errors.Join(attemptErrs...)
 }
 
 // backoff sleeps the capped exponential delay for the given retry

@@ -1,0 +1,181 @@
+package collect
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+)
+
+// Codec v3 golden vectors, pinned against the same goldenSketch the v2
+// vector uses. Any codec change that alters these bytes breaks deployed
+// collectors mid-fleet and must bump the version instead of silently
+// shifting the layout.
+//
+// Shared layout (big-endian): magic "FCMD", version 3, flags, pad,
+// baseGen u64, newGen u64, stateCRC u32 (CRC-32C over the complete
+// post-apply register state), bodyLen u32, body, CRC-32C trailer over
+// everything before it.
+const (
+	// goldenEmptyDeltaHex is the nothing-changed frame: baseGen = newGen
+	// = 7, zero delta blocks, state CRC 0xa24a7eba of the unchanged golden
+	// registers. At 40 bytes it is the steady-state cost of polling an
+	// idle switch — versus 53 bytes for the full golden snapshot (and tens
+	// of KB for paper-sized geometries).
+	goldenEmptyDeltaHex = "46434d440300000000000000000000070000000000000007a24a7eba0000000400000000e6d30518"
+
+	// goldenDeltaHex carries one changed register: flow 3 of the golden
+	// sketch incremented by 2, which lands in tree 0, stage 1, index 1
+	// (the leaf stage is already saturated at its overflow marker, so only
+	// the stage-1 counter moves: 11 → 13... encoded value 0x04 is the
+	// stored register). baseGen 7 → newGen 9, one block, one entry.
+	goldenDeltaHex = "46434d44030000000000000000000007000000000000000984eb99520000001400000001000100000000000100000001000000049b180432"
+
+	// goldenFullDeltaHex is the fallback frame: flags bit0 set, baseGen 0,
+	// and the body is the complete v2 encoding (magic "FCMS" and its own
+	// CRC trailer) of the post-update golden sketch.
+	goldenFullDeltaHex = "46434d44030100000000000000000000000000000000000984eb99520000003646434d5302010200000000020000000402040000000400000003000000030000000300000002000000020000000b00000004f9f481d335b0bb9e"
+)
+
+// goldenDeltaSketches returns the (base, cur) snapshot pair the delta
+// vectors were produced from.
+func goldenDeltaSketches(t *testing.T) (*Snapshot, *Snapshot) {
+	t.Helper()
+	base := TakeSnapshot(goldenSketch(t))
+	s := goldenSketch(t)
+	var key [4]byte
+	binary.BigEndian.PutUint32(key[:], 3)
+	s.Update(key[:], 2)
+	return base, TakeSnapshot(s)
+}
+
+func TestGoldenDeltaFrameEncoding(t *testing.T) {
+	base, cur := goldenDeltaSketches(t)
+
+	empty := &DeltaFrame{BaseGen: 7, NewGen: 7, StateCRC: base.StateCRC()}
+	eb, err := empty.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(eb); got != goldenEmptyDeltaHex {
+		t.Fatalf("empty-delta frame drifted from pinned vector:\n got %s\nwant %s", got, goldenEmptyDeltaHex)
+	}
+
+	blocks, ok := DiffSnapshots(base, cur)
+	if !ok {
+		t.Fatal("golden snapshots refuse to diff")
+	}
+	delta := &DeltaFrame{BaseGen: 7, NewGen: 9, StateCRC: cur.StateCRC(), Blocks: blocks}
+	db, err := delta.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(db); got != goldenDeltaHex {
+		t.Fatalf("delta frame drifted from pinned vector:\n got %s\nwant %s", got, goldenDeltaHex)
+	}
+
+	full := &DeltaFrame{Full: true, NewGen: 9, StateCRC: cur.StateCRC(), Snap: cur}
+	fb, err := full.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(fb); got != goldenFullDeltaHex {
+		t.Fatalf("full frame drifted from pinned vector:\n got %s\nwant %s", got, goldenFullDeltaHex)
+	}
+
+	// The full frame's body must be exactly the v2 golden encoding of the
+	// post-update sketch — v3's fallback rung IS v2, not a near-copy.
+	body := fb[deltaHeaderLen : len(fb)-deltaTrailerLen]
+	v2, err := cur.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, v2) {
+		t.Fatalf("full-frame body is not the v2 encoding:\n got %x\nwant %x", body, v2)
+	}
+}
+
+func TestGoldenDeltaFrameDecodes(t *testing.T) {
+	base, cur := goldenDeltaSketches(t)
+
+	data, _ := hex.DecodeString(goldenDeltaHex)
+	frame, err := DecodeDeltaFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Full || frame.BaseGen != 7 || frame.NewGen != 9 {
+		t.Fatalf("decoded header drifted: %+v", frame)
+	}
+	applied, err := ApplyDelta(base, frame.Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.StateCRC() != frame.StateCRC {
+		t.Fatal("applying the golden delta does not reproduce the pinned state CRC")
+	}
+	appliedSk, err := applied.Restore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curSk, err := cur.Restore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := curSk.FirstRegisterDiff(appliedSk); d != "" {
+		t.Fatalf("golden delta does not reconstruct the golden registers: %s", d)
+	}
+
+	edata, _ := hex.DecodeString(goldenEmptyDeltaHex)
+	eframe, err := DecodeDeltaFrame(edata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eframe.Blocks) != 0 || eframe.BaseGen != eframe.NewGen {
+		t.Fatalf("empty-delta frame decoded as non-empty: %+v", eframe)
+	}
+	if eframe.StateCRC != base.StateCRC() {
+		t.Fatal("empty-delta state CRC does not pin the unchanged registers")
+	}
+
+	fdata, _ := hex.DecodeString(goldenFullDeltaHex)
+	fframe, err := DecodeDeltaFrame(fdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fframe.Full || fframe.Snap == nil {
+		t.Fatalf("full frame decoded as %+v", fframe)
+	}
+	fullSk, err := fframe.Snap.Restore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := curSk.FirstRegisterDiff(fullSk); d != "" {
+		t.Fatalf("full frame does not carry the golden registers: %s", d)
+	}
+}
+
+// TestGoldenDeltaRejectsEveryBitFlip: the frame CRC covers every byte of
+// every v3 frame shape — header fields, delta entries, the embedded full
+// snapshot, and the trailer itself.
+func TestGoldenDeltaRejectsEveryBitFlip(t *testing.T) {
+	for _, vec := range []struct {
+		name string
+		hex  string
+	}{
+		{"empty", goldenEmptyDeltaHex},
+		{"delta", goldenDeltaHex},
+		{"full", goldenFullDeltaHex},
+	} {
+		data, err := hex.DecodeString(vec.hex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			corrupt := append([]byte(nil), data...)
+			corrupt[i] ^= 0x10
+			if _, err := DecodeDeltaFrame(corrupt); err == nil {
+				t.Fatalf("%s frame: decode accepted a bit flip at byte %d", vec.name, i)
+			}
+		}
+	}
+}

@@ -7,6 +7,84 @@ import (
 	"github.com/fcmsketch/fcm/internal/core"
 )
 
+// FuzzDeltaFrame fuzzes the codec v3 frame as the client consumes it:
+// decode, then the client's apply gate against a fixed baseline. The
+// invariant is the protocol's core promise — every mutation either decodes
+// to a frame whose application reproduces exactly the state its CRC pins,
+// or is rejected (which in the protocol means falling back to a full
+// snapshot). There is no third outcome: a wrong merge would require a
+// frame that passes the frame CRC, applies cleanly, and matches the state
+// CRC while encoding different registers — which is what the two CRCs
+// exist to rule out.
+func FuzzDeltaFrame(f *testing.F) {
+	for _, seed := range deltaFrameSeeds() {
+		f.Add(seed)
+	}
+	base := baselineForFuzz()
+	baseCRC := base.StateCRC()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := DecodeDeltaFrame(data)
+		if err != nil {
+			return // rejected: the client falls back to a full snapshot
+		}
+		// Anything that decoded must round-trip.
+		re, err := frame.Encode()
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		again, err := DecodeDeltaFrame(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if again.Full != frame.Full || again.BaseGen != frame.BaseGen ||
+			again.NewGen != frame.NewGen || again.StateCRC != frame.StateCRC {
+			t.Fatal("frame header changed across round trip")
+		}
+		if frame.Full {
+			// DecodeDeltaFrame already verified the embedded snapshot's own
+			// CRC and cross-checked it against the header's state CRC.
+			if frame.Snap.StateCRC() != frame.StateCRC {
+				t.Fatal("full frame state CRC inconsistent after decode")
+			}
+			return
+		}
+		// The client's apply gate: apply to the fixed baseline, accept only
+		// if the post-state CRC matches the frame's pin.
+		next, err := ApplyDelta(base, frame.Blocks)
+		if err != nil {
+			return // out-of-range block: fallback, never a wrong merge
+		}
+		if base.StateCRC() != baseCRC {
+			t.Fatal("ApplyDelta mutated the baseline")
+		}
+		if next.StateCRC() != frame.StateCRC {
+			return // state mismatch: fallback, never a wrong merge
+		}
+		// Accepted. The only remaining obligation is determinism: the same
+		// frame against the same baseline reconstructs the same registers.
+		next2, err := ApplyDelta(base, frame.Blocks)
+		if err != nil || next2.StateCRC() != next.StateCRC() {
+			t.Fatal("delta application is not deterministic")
+		}
+	})
+}
+
+// baselineForFuzz is the fixed apply baseline: the pre-update golden
+// sketch (small enough to diff exhaustively, saturated enough to carry
+// marker values).
+func baselineForFuzz() *Snapshot {
+	s, err := core.New(core.Config{K: 2, Trees: 1, Widths: []int{2, 4}, LeafWidth: 4})
+	if err != nil {
+		panic(err)
+	}
+	for f := uint32(0); f < 6; f++ {
+		key := []byte{byte(f >> 24), byte(f >> 16), byte(f >> 8), byte(f)}
+		s.Update(key, uint64(f)+1)
+	}
+	return TakeSnapshot(s)
+}
+
 // FuzzDecodeSnapshot checks the codec never panics or over-allocates on
 // malformed snapshots, and that valid snapshots survive re-encoding.
 func FuzzDecodeSnapshot(f *testing.F) {

@@ -59,6 +59,9 @@ type PollerStats struct {
 	// (TransitionsTo[Down] is how often the switch was declared
 	// unreachable). The initial Healthy state is not counted.
 	TransitionsTo [3]uint64
+	// LastSuccess is when the last snapshot was delivered (zero before
+	// the first delivery).
+	LastSuccess time.Time
 }
 
 // Poller periodically collects snapshots from a switch — the "periodically
@@ -81,6 +84,7 @@ type Poller struct {
 	statMu  sync.Mutex
 	stats   PollerStats
 	pending int // failures since the last delivered snapshot
+	started time.Time
 
 	log *slog.Logger
 }
@@ -100,6 +104,22 @@ type PollerConfig struct {
 	Retries int
 	// Reset rotates the window after each collection.
 	Reset bool
+	// Delta enables the codec v3 delta protocol on the underlying client
+	// (see ClientConfig.Delta); SessionID is passed through with it.
+	Delta     bool
+	SessionID uint64
+	// InitialDelay staggers the first collection: the loop sleeps this
+	// long, collects once, and only then starts the interval ticker. A
+	// Scheduler spreads its pollers' delays across one interval so a
+	// controller's fan-in arrives as a steady trickle, not a thundering
+	// herd. 0 keeps the legacy behavior (first collection after one full
+	// interval).
+	InitialDelay time.Duration
+	// Gate, when non-nil, bounds how many collections run concurrently
+	// across all pollers sharing it (controller fan-in cap). The poller
+	// blocks on the gate before each collection; time spent waiting counts
+	// against that collection's window.
+	Gate *Gate
 	// OnSnapshot receives every collected snapshot (required).
 	OnSnapshot func(*Snapshot)
 	// OnWindow, if set, additionally receives each snapshot with the
@@ -150,6 +170,8 @@ func NewPoller(cfg PollerConfig) (*Poller, error) {
 		IOTimeout:   cfg.Timeout,
 		MaxRetries:  cfg.Retries,
 		Dial:        cfg.Dial,
+		Delta:       cfg.Delta,
+		SessionID:   cfg.SessionID,
 		Logger:      cfg.Logger,
 	})
 	if err != nil {
@@ -169,8 +191,30 @@ func (p *Poller) Start() error {
 	ctx, cancel := context.WithCancel(context.Background())
 	p.cancel = cancel
 	p.stopped = make(chan struct{})
+	p.statMu.Lock()
+	p.started = time.Now()
+	p.statMu.Unlock()
 	go p.loop(ctx, p.stopped)
 	return nil
+}
+
+// ConvergenceLag is how long ago the controller last held this switch's
+// state: seconds since the last delivered snapshot, or since Start if
+// nothing has been delivered yet (0 before Start). A healthy fleet keeps
+// every poller's lag near its interval; a partition or a dead aggregator
+// shows up as a lag that grows without bound.
+func (p *Poller) ConvergenceLag() float64 {
+	p.statMu.Lock()
+	last, started := p.stats.LastSuccess, p.started
+	p.statMu.Unlock()
+	switch {
+	case !last.IsZero():
+		return time.Since(last).Seconds()
+	case !started.IsZero():
+		return time.Since(started).Seconds()
+	default:
+		return 0
+	}
 }
 
 // Stop halts the loop and waits for it to finish. An in-flight collection
@@ -200,6 +244,22 @@ func (p *Poller) Stats() PollerStats {
 func (p *Poller) loop(ctx context.Context, stopped chan<- struct{}) {
 	defer close(stopped)
 	defer p.client.Close() //nolint:errcheck // teardown
+	if p.cfg.InitialDelay > 0 {
+		// Staggered start: sleep the assigned slice of the interval, then
+		// collect immediately so the steady-state phase (one collection
+		// per interval, offset by the delay) begins right away.
+		t := time.NewTimer(p.cfg.InitialDelay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		p.runOnce(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+	}
 	ticker := time.NewTicker(p.cfg.Interval)
 	defer ticker.Stop()
 	for {
@@ -207,17 +267,32 @@ func (p *Poller) loop(ctx context.Context, stopped chan<- struct{}) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			snap, err := p.collectOnce(ctx)
+			p.runOnce(ctx)
 			if ctx.Err() != nil {
 				return
 			}
-			if err != nil {
-				p.noteFailure(err)
-				continue
-			}
-			p.noteSuccess(snap)
 		}
 	}
+}
+
+// runOnce performs one scheduled collection, honoring the shared fan-in
+// gate when one is configured.
+func (p *Poller) runOnce(ctx context.Context) {
+	if p.cfg.Gate != nil {
+		if err := p.cfg.Gate.Acquire(ctx); err != nil {
+			return
+		}
+		defer p.cfg.Gate.Release()
+	}
+	snap, err := p.collectOnce(ctx)
+	if ctx.Err() != nil {
+		return
+	}
+	if err != nil {
+		p.noteFailure(err)
+		return
+	}
+	p.noteSuccess(snap)
 }
 
 // collectOnce reads (and optionally resets) one snapshot over the reused
@@ -275,6 +350,7 @@ func (p *Poller) noteFailure(err error) {
 func (p *Poller) noteSuccess(snap *Snapshot) {
 	p.statMu.Lock()
 	p.stats.Collected++
+	p.stats.LastSuccess = time.Now()
 	p.stats.ConsecutiveFailures = 0
 	skipped := p.pending
 	p.pending = 0

@@ -1,0 +1,177 @@
+package collect
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"time"
+
+	"github.com/fcmsketch/fcm/internal/telemetry"
+)
+
+// Gate bounds how many collections are in flight at once across the
+// pollers sharing it — the controller-side fan-in cap. Without one, N
+// staggered pollers still correlate over time (retries, slow switches) and
+// a controller can find itself decoding hundreds of snapshots
+// simultaneously; with one, excess collections queue briefly instead.
+type Gate struct {
+	sem chan struct{}
+}
+
+// NewGate builds a gate admitting n concurrent collections (n <= 0 means
+// 1).
+func NewGate(n int) *Gate {
+	if n <= 0 {
+		n = 1
+	}
+	return &Gate{sem: make(chan struct{}, n)}
+}
+
+// Acquire takes a slot, honoring ctx.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot taken by Acquire.
+func (g *Gate) Release() { <-g.sem }
+
+// InFlight reports how many slots are currently held.
+func (g *Gate) InFlight() int { return len(g.sem) }
+
+// SchedulerConfig shapes a fleet of pollers into a bounded, decorrelated
+// collection schedule.
+type SchedulerConfig struct {
+	// Interval is the per-switch collection period, applied to every
+	// member whose own Interval is zero (required if any member omits it).
+	Interval time.Duration
+	// MaxInFlight caps concurrent collections across all members via a
+	// shared Gate (default 8). Members that already carry a Gate keep it.
+	MaxInFlight int
+	// JitterSeed seeds the per-member delay jitter; 0 means 1, keeping
+	// schedules deterministic for tests.
+	JitterSeed int64
+	// Logger is handed to members that do not carry their own.
+	Logger *slog.Logger
+}
+
+// Scheduler runs one poller per switch with staggered, jittered start
+// times: member i's first collection lands at i*interval/N plus up to one
+// slot of seeded jitter, so N switches polled at the same interval spread
+// their frames across the whole interval instead of synchronizing into a
+// burst at every tick.
+type Scheduler struct {
+	pollers []*Poller
+	gate    *Gate
+}
+
+// NewScheduler builds (but does not start) a poller per member config.
+// Each member needs at least Addr and a snapshot callback; Interval,
+// InitialDelay, Gate and Logger are filled in from the scheduler config
+// when absent.
+func NewScheduler(cfg SchedulerConfig, members []PollerConfig) (*Scheduler, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("collect: scheduler needs at least one member")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 8
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = 1
+	}
+	gate := NewGate(cfg.MaxInFlight)
+	rng := rand.New(rand.NewSource(cfg.JitterSeed))
+	s := &Scheduler{gate: gate}
+	for i := range members {
+		m := members[i]
+		if m.Interval <= 0 {
+			m.Interval = cfg.Interval
+		}
+		if m.Interval <= 0 {
+			return nil, fmt.Errorf("collect: scheduler member %d has no interval", i)
+		}
+		if m.Gate == nil {
+			m.Gate = gate
+		}
+		if m.Logger == nil {
+			m.Logger = cfg.Logger
+		}
+		if m.InitialDelay <= 0 {
+			// Slot i of N plus jitter within the slot. The floor of 1ns
+			// keeps the delay nonzero so the staggered-start path runs
+			// even for slot 0.
+			slot := m.Interval / time.Duration(len(members))
+			jitter := time.Duration(1)
+			if slot > 1 {
+				jitter += time.Duration(rng.Int63n(int64(slot)))
+			}
+			m.InitialDelay = time.Duration(i)*slot + jitter
+		}
+		p, err := NewPoller(m)
+		if err != nil {
+			return nil, fmt.Errorf("collect: scheduler member %d: %w", i, err)
+		}
+		s.pollers = append(s.pollers, p)
+	}
+	return s, nil
+}
+
+// Start launches every member poller.
+func (s *Scheduler) Start() error {
+	for i, p := range s.pollers {
+		if err := p.Start(); err != nil {
+			for _, started := range s.pollers[:i] {
+				started.Stop()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Stop halts every member poller and waits for them.
+func (s *Scheduler) Stop() {
+	for _, p := range s.pollers {
+		p.Stop()
+	}
+}
+
+// Pollers exposes the member pollers (stats, instrumentation, targeted
+// health checks).
+func (s *Scheduler) Pollers() []*Poller { return s.pollers }
+
+// Gate returns the shared fan-in gate.
+func (s *Scheduler) Gate() *Gate { return s.gate }
+
+// MaxConvergenceLag is the worst convergence lag across members — the
+// fleet-level freshness number a controller alerts on.
+func (s *Scheduler) MaxConvergenceLag() float64 {
+	var worst float64
+	for _, p := range s.pollers {
+		if lag := p.ConvergenceLag(); lag > worst {
+			worst = lag
+		}
+	}
+	return worst
+}
+
+// Instrument registers the scheduler's fleet-level series; member pollers
+// are instrumented individually by the caller if per-switch series are
+// wanted (one labeled set per member does not scale to hundreds).
+func (s *Scheduler) Instrument(reg *telemetry.Registry, labels string) {
+	bind := statBinder{reg: reg, labels: labels}
+	bind.gauge("fcm_scheduler_members",
+		"Pollers managed by the collection scheduler.",
+		func() float64 { return float64(len(s.pollers)) })
+	bind.gauge("fcm_scheduler_in_flight",
+		"Collections currently holding a fan-in gate slot.",
+		func() float64 { return float64(s.gate.InFlight()) })
+	bind.gauge("fcm_poller_convergence_lag_seconds",
+		"Worst seconds-since-last-snapshot across the scheduled fleet.",
+		s.MaxConvergenceLag)
+}

@@ -23,6 +23,11 @@ const (
 	OpReadSketch = 1
 	// OpResetSketch clears the registers (window rotation).
 	OpResetSketch = 2
+	// OpReadDelta returns a codec v3 delta frame against the client's
+	// acked generation (falling back to an embedded full snapshot when no
+	// usable baseline exists). Servers predating v3 answer it with an
+	// "unknown opcode" error, which clients treat as a version downgrade.
+	OpReadDelta = 3
 
 	statusOK  = 0
 	statusErr = 1
@@ -51,6 +56,20 @@ type Source interface {
 	ResetSketch()
 }
 
+// GenerationalSource is a Source that can stamp each snapshot with a
+// monotonic generation: equal generations imply bit-identical registers
+// within one process lifetime. The delta protocol uses the generation as
+// its ack token, and — for genuinely generational sources — as the
+// unchanged-sketch fast path (an empty delta with no diff pass at all).
+// engine.Engine and Aggregator implement it; plain Sources still get
+// deltas, keyed by synthetic per-read generations.
+type GenerationalSource interface {
+	Source
+	// SnapshotSketchGen returns a consistent register copy together with
+	// the generation it was taken at.
+	SnapshotSketchGen() (*core.Sketch, uint64)
+}
+
 // ServerConfig bounds server-side resource use so a slow, stalled, or
 // malicious peer cannot pin a handler goroutine or exhaust descriptors.
 // Zero fields take the defaults below.
@@ -66,8 +85,15 @@ type ServerConfig struct {
 	// before the server closes it (default 2m).
 	IdleTimeout time.Duration
 	// MaxConns caps concurrently served connections (default 64). Excess
-	// connections wait in the accept backlog until a slot frees.
+	// connections are accepted, counted, logged, and closed immediately —
+	// the peer sees a clean transport failure and retries, instead of
+	// sitting invisibly in the kernel backlog.
 	MaxConns int
+	// MaxSessions caps the delta-protocol session store (default 64). Each
+	// session pins up to two register snapshots server-side; beyond the
+	// cap the least-recently-used session is evicted, and its client
+	// degrades to one full snapshot on its next poll.
+	MaxSessions int
 	// Logger receives structured lifecycle and failure records; nil
 	// discards them.
 	Logger *slog.Logger
@@ -78,6 +104,7 @@ const (
 	defaultWriteTimeout = 10 * time.Second
 	defaultIdleTimeout  = 2 * time.Minute
 	defaultMaxConns     = 64
+	defaultMaxSessions  = 64
 )
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -92,6 +119,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.MaxConns <= 0 {
 		c.MaxConns = defaultMaxConns
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = defaultMaxSessions
 	}
 	return c
 }
@@ -110,27 +140,51 @@ type ServerStats struct {
 	Resets uint64
 	// Errors counts requests answered with an error status.
 	Errors uint64
+	// RejectedConns counts connections closed at the MaxConns cap.
+	RejectedConns uint64
+	// DeltaReads counts OpReadDelta requests answered (delta or embedded
+	// full — every successful v3 response).
+	DeltaReads uint64
+	// DeltaWireBytes and FullWireBytes are response payload bytes served
+	// as deltas vs as full snapshots (v3 embedded fulls and v2 reads
+	// both count as full): the bandwidth ledger the delta protocol exists
+	// to improve.
+	DeltaWireBytes uint64
+	FullWireBytes  uint64
+	// Fallbacks counts v3 requests that degraded to a full snapshot, by
+	// reason (keys: no_baseline, gen_mismatch, geometry, delta_larger).
+	Fallbacks map[string]uint64
+	// Sessions is the current delta session count.
+	Sessions int
 }
 
 // Server exposes a data plane's sketch registers over TCP so a controller
 // can collect them in batch.
 type Server struct {
-	src    Source
-	cfg    ServerConfig
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed chan struct{}
-	sem    chan struct{}
+	src      Source
+	gsrc     GenerationalSource // non-nil when src reports generations
+	cfg      ServerConfig
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+	sem      chan struct{}
+	sessions *sessionStore
+	synthGen atomic.Uint64 // generation fallback for plain Sources
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	acceptRetries atomic.Uint64
-	totalConns    atomic.Uint64
-	activeConns   atomic.Int64
-	reads         atomic.Uint64
-	resets        atomic.Uint64
-	reqErrors     atomic.Uint64
+	acceptRetries  atomic.Uint64
+	totalConns     atomic.Uint64
+	activeConns    atomic.Int64
+	rejectedConns  atomic.Uint64
+	reads          atomic.Uint64
+	resets         atomic.Uint64
+	reqErrors      atomic.Uint64
+	deltaReads     atomic.Uint64
+	deltaWireBytes atomic.Uint64
+	fullWireBytes  atomic.Uint64
+	fallbacks      [fbCount]atomic.Uint64
 
 	log *slog.Logger
 }
@@ -158,13 +212,17 @@ func NewServerConfig(addr string, src Source, cfg ServerConfig) (*Server, error)
 func Serve(ln net.Listener, src Source, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		src:    src,
-		cfg:    cfg,
-		ln:     ln,
-		closed: make(chan struct{}),
-		sem:    make(chan struct{}, cfg.MaxConns),
-		conns:  make(map[net.Conn]struct{}),
-		log:    telemetry.OrNop(cfg.Logger),
+		src:      src,
+		cfg:      cfg,
+		ln:       ln,
+		closed:   make(chan struct{}),
+		sem:      make(chan struct{}, cfg.MaxConns),
+		sessions: newSessionStore(cfg.MaxSessions),
+		conns:    make(map[net.Conn]struct{}),
+		log:      telemetry.OrNop(cfg.Logger),
+	}
+	if gs, ok := src.(GenerationalSource); ok {
+		s.gsrc = gs
 	}
 	s.log.Info("collect server listening",
 		"addr", ln.Addr().String(), "max_conns", cfg.MaxConns)
@@ -178,14 +236,24 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Stats returns the server's counters.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{
-		AcceptRetries: s.acceptRetries.Load(),
-		Conns:         s.totalConns.Load(),
-		Active:        s.activeConns.Load(),
-		Reads:         s.reads.Load(),
-		Resets:        s.resets.Load(),
-		Errors:        s.reqErrors.Load(),
+	st := ServerStats{
+		AcceptRetries:  s.acceptRetries.Load(),
+		Conns:          s.totalConns.Load(),
+		Active:         s.activeConns.Load(),
+		Reads:          s.reads.Load(),
+		Resets:         s.resets.Load(),
+		Errors:         s.reqErrors.Load(),
+		RejectedConns:  s.rejectedConns.Load(),
+		DeltaReads:     s.deltaReads.Load(),
+		DeltaWireBytes: s.deltaWireBytes.Load(),
+		FullWireBytes:  s.fullWireBytes.Load(),
+		Fallbacks:      make(map[string]uint64, fbCount),
+		Sessions:       s.sessions.len(),
 	}
+	for i := range s.fallbacks {
+		st.Fallbacks[fallbackReasons[i]] = s.fallbacks[i].Load()
+	}
+	return st
 }
 
 // LockedSketch adapts a single-writer sketch into a Source: the writer
@@ -264,16 +332,8 @@ func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	failures := 0
 	for {
-		// Connection cap: hold a slot before accepting, so excess peers
-		// queue in the kernel backlog instead of spawning handlers.
-		select {
-		case s.sem <- struct{}{}:
-		case <-s.closed:
-			return
-		}
 		conn, err := s.ln.Accept()
 		if err != nil {
-			<-s.sem
 			// Permanent: the listener is gone (Close, or the socket
 			// itself died under us).
 			if errors.Is(err, net.ErrClosed) {
@@ -300,6 +360,21 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		failures = 0
+		// Connection cap: accepted but over MaxConns means an immediate,
+		// counted, logged close — a visible transport failure the peer's
+		// retry loop handles, never a silent stall in the kernel backlog.
+		// No error frame is sent: a status error is a permanent rejection
+		// to the client (non-retryable ServerError), and being at capacity
+		// is transient.
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.rejectedConns.Add(1)
+			s.log.Warn("connection rejected at connection cap",
+				"peer", conn.RemoteAddr().String(), "max_conns", s.cfg.MaxConns)
+			conn.Close() //nolint:errcheck // rejected
+			continue
+		}
 		s.totalConns.Add(1)
 		s.activeConns.Add(1)
 		s.connMu.Lock()
@@ -336,8 +411,14 @@ func (s *Server) serve(conn net.Conn) {
 		case OpReadSketch:
 			// The source hands over an owned copy; encoding and the
 			// network write below run with no data-plane lock held.
-			snap := TakeSnapshot(s.src.SnapshotSketch())
-			data, err := snap.Encode()
+			sk := s.src.SnapshotSketch()
+			if sk == nil {
+				// An aggregator that has not completed a member poll yet
+				// has nothing to serve; the client retries.
+				s.writeError(conn, "no sketch available yet") //nolint:errcheck
+				return
+			}
+			data, err := TakeSnapshot(sk).Encode()
 			if err != nil {
 				s.writeError(conn, err.Error()) //nolint:errcheck
 				return
@@ -346,8 +427,13 @@ func (s *Server) serve(conn net.Conn) {
 				return
 			}
 			s.reads.Add(1)
+			s.fullWireBytes.Add(uint64(len(data)))
 			s.log.Debug("snapshot served",
 				"peer", conn.RemoteAddr().String(), "bytes", len(data))
+		case OpReadDelta:
+			if err := s.serveDelta(conn, req); err != nil {
+				return
+			}
 		case OpResetSketch:
 			s.src.ResetSketch()
 			if err := s.writeFrameDeadline(conn, []byte{statusOK}); err != nil {

@@ -1,6 +1,8 @@
 package collect
 
 import (
+	"sync/atomic"
+
 	"github.com/fcmsketch/fcm/internal/telemetry"
 )
 
@@ -31,6 +33,41 @@ func (s *Server) Instrument(reg *telemetry.Registry, labels string) {
 	bind.counter("fcm_collect_server_errors_total",
 		"Requests answered with an error status.",
 		func() float64 { return float64(s.reqErrors.Load()) })
+	bind.counter("fcm_collect_rejected_conns_total",
+		"Connections closed at the MaxConns cap instead of being served.",
+		func() float64 { return float64(s.rejectedConns.Load()) })
+	bind.counter("fcm_collect_server_delta_reads_total",
+		"Codec v3 responses served (deltas and embedded fulls).",
+		func() float64 { return float64(s.deltaReads.Load()) })
+	bind.gauge("fcm_collect_server_sessions",
+		"Delta sessions currently tracked.",
+		func() float64 { return float64(s.sessions.len()) })
+	for _, kind := range []struct {
+		label string
+		ctr   *atomic.Uint64
+	}{
+		{"delta", &s.deltaWireBytes},
+		{"full", &s.fullWireBytes},
+	} {
+		ctr := kind.ctr
+		kindLabel := `kind="` + kind.label + `"`
+		if labels != "" {
+			kindLabel = labels + "," + kindLabel
+		}
+		reg.CounterFuncL("fcm_collect_server_wire_bytes_total", kindLabel,
+			"Snapshot payload bytes served, split delta vs full.",
+			func() float64 { return float64(ctr.Load()) })
+	}
+	for i := range s.fallbacks {
+		ctr := &s.fallbacks[i]
+		reasonLabel := `reason="` + fallbackReasons[i] + `"`
+		if labels != "" {
+			reasonLabel = labels + "," + reasonLabel
+		}
+		reg.CounterFuncL("fcm_collect_server_fallback_total", reasonLabel,
+			"Codec v3 requests degraded to a full snapshot, by reason.",
+			func() float64 { return float64(ctr.Load()) })
+	}
 }
 
 // Instrument registers the client's recovery counters: dials, read
@@ -46,6 +83,18 @@ func (c *Client) Instrument(reg *telemetry.Registry, labels string) {
 	bind.counter("fcm_collect_client_decode_failures_total",
 		"Responses that framed cleanly but failed decoding (CRC mismatch).",
 		func() float64 { return float64(c.Stats().DecodeFailures) })
+	bind.counter("fcm_collect_client_deltas_applied_total",
+		"Codec v3 delta frames applied to the local baseline.",
+		func() float64 { return float64(c.Stats().DeltasApplied) })
+	bind.counter("fcm_collect_client_full_snapshots_total",
+		"Full snapshots received on the codec v3 path.",
+		func() float64 { return float64(c.Stats().FullSnapshots) })
+	bind.counter("fcm_collect_client_delta_fallbacks_total",
+		"Client-side baseline invalidations (unapplicable deltas).",
+		func() float64 { return float64(c.Stats().DeltaFallbacks) })
+	bind.counter("fcm_collect_client_v2_downgrades_total",
+		"Permanent downgrades to the v2 protocol (server rejected v3).",
+		func() float64 { return float64(c.Stats().V2Downgrades) })
 }
 
 // Instrument registers the poller's progress and health series, including
@@ -68,6 +117,9 @@ func (p *Poller) Instrument(reg *telemetry.Registry, labels string) {
 	bind.gauge("fcm_poller_state",
 		"Poller health: 0 healthy, 1 degraded, 2 down.",
 		func() float64 { return float64(p.Stats().State) })
+	bind.gauge("fcm_poller_convergence_lag_seconds",
+		"Seconds since this poller last delivered a snapshot.",
+		p.ConvergenceLag)
 	for st := Healthy; st <= Down; st++ {
 		st := st
 		stateLabel := `state="` + st.String() + `"`
