@@ -82,11 +82,15 @@ go test -run NOMATCH -fuzz '^FuzzEMInput$' -fuzztime 10s ./internal/difftest/
 go test -run NOMATCH -fuzz '^FuzzDeltaFrame$' -fuzztime 10s ./internal/collect/
 
 # Telemetry gate, part 1: the telemetry-plane suites race-enabled and
-# uncached — registry/export correctness, engine instrumentation, and the
-# poller health-cycle test that drives healthy->degraded->down->healthy
-# through faultnet and asserts transition counters and log records.
-go test -race -count=1 ./internal/telemetry/
-go test -race -count=1 -run 'Telemetry|Instrument' \
+# uncached — registry/export correctness and exposition linting, the
+# flight recorder (internal/telemetry/tracing), the accuracy self-report
+# (internal/insight), engine instrumentation, and the poller health-cycle
+# test that drives healthy->degraded->down->healthy through faultnet and
+# asserts transition counters and log records. The fleet tracing test
+# (full poll trace: gate wait -> client attempt -> decode -> delta apply
+# -> absorb -> deliver) rides the Trac pattern.
+go test -race -count=1 ./internal/telemetry/... ./internal/insight/
+go test -race -count=1 -run 'Telemetry|Instrument|Trac|Insight' \
   ./internal/engine/ ./internal/collect/
 
 # Telemetry gate, part 2: end-to-end smoke. Boot a switch with live
@@ -115,8 +119,19 @@ done
 for series in fcm_build_info fcm_sketch_updates_total \
     fcm_sketch_level_occupancy fcm_engine_shard_updates_total \
     fcm_engine_shards fcm_collect_server_conns_total \
+    fcm_tracing_enabled fcm_traces_retained \
+    fcm_insight_error_bound_packets fcm_insight_saturation_forecast_windows \
     go_goroutines process_uptime_seconds; do
   grep -q "^$series" "$TMP/scrape.out"
 done
+
+# Boot-scrape the observability endpoints: fcmctl fetches /debug/traces
+# and /debug/insight and unmarshals each response, so this fails on
+# anything but well-formed JSON; the greps pin the rendered reports.
+"$TMP/fcmctl" -traces "$ADDR" >"$TMP/traces.out"
+grep -q '^traces: ' "$TMP/traces.out"
+"$TMP/fcmctl" -insight "$ADDR" >"$TMP/insight.out"
+grep -q '^insight @ window' "$TMP/insight.out"
+grep -q 'error:' "$TMP/insight.out"
 kill "$SWITCH_PID"
 SWITCH_PID=

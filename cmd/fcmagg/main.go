@@ -29,7 +29,9 @@ import (
 	"time"
 
 	"github.com/fcmsketch/fcm/internal/collect"
+	"github.com/fcmsketch/fcm/internal/insight"
 	"github.com/fcmsketch/fcm/internal/telemetry"
+	"github.com/fcmsketch/fcm/internal/telemetry/tracing"
 )
 
 func main() {
@@ -47,7 +49,8 @@ func main() {
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "close collection connections idle this long")
 		maxConns = flag.Int("max-conns", 64, "max simultaneous collection connections (excess rejected and counted)")
 		maxSess  = flag.Int("max-sessions", 64, "max tracked codec v3 delta sessions (LRU-evicted beyond this)")
-		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this HTTP address")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/traces and /debug/insight on this HTTP address")
+		flightOn = flag.Bool("flight-recorder", true, "capture flight-recorder traces of member polls and serve requests (/debug/traces)")
 		logLevel = flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		version  = flag.Bool("version", false, "print build information and exit")
@@ -73,6 +76,9 @@ func main() {
 		memberCfgs[i] = collect.PollerConfig{Addr: a}
 	}
 
+	recorder := tracing.NewRecorder(tracing.RecorderConfig{})
+	recorder.SetEnabled(*flightOn)
+
 	agg, err := collect.NewAggregator(collect.AggregatorConfig{
 		Members:     memberCfgs,
 		Interval:    *interval,
@@ -82,6 +88,7 @@ func main() {
 		MaxInFlight: *inFlight,
 		JitterSeed:  *jitter,
 		Logger:      logger,
+		Tracer:      recorder,
 		OnMemberState: func(addr string, from, to collect.State) {
 			fmt.Fprintf(os.Stderr, "fcmagg: member %s: %s -> %s\n", addr, from, to)
 		},
@@ -99,6 +106,7 @@ func main() {
 			MaxConns:     *maxConns,
 			MaxSessions:  *maxSess,
 			Logger:       logger,
+			Tracer:       recorder,
 		})
 		if err != nil {
 			fatalf("%v", err)
@@ -111,6 +119,7 @@ func main() {
 		telemetry.RegisterProcessMetrics(reg)
 		telemetry.RegisterBuildInfo(reg, telemetry.Build())
 		agg.Instrument(reg, "")
+		recorder.Instrument(reg)
 		if srv != nil {
 			srv.Instrument(reg, "")
 		}
@@ -125,7 +134,9 @@ func main() {
 				extra["collect_addr"] = srv.Addr()
 			}
 			return extra
-		})
+		}, "/debug/traces", "/debug/insight")
+		mux.Handle("/debug/traces", recorder)
+		mux.Handle("/debug/insight", insight.FleetHandler(agg.InsightReport))
 		addr, shutdownTel, err := telemetry.Serve(*telAddr, mux)
 		if err != nil {
 			fatalf("%v", err)
@@ -151,6 +162,10 @@ func main() {
 	st := agg.Stats()
 	fmt.Printf("stopped: %d/%d members reporting, %d member snapshots folded, %d merges served\n",
 		st.MembersReporting, st.Members, st.MemberSnapshots, st.Merges)
+	if fr := agg.InsightReport(); len(fr.Members) > 0 {
+		fmt.Println()
+		insight.WriteFleetText(os.Stdout, fr)
+	}
 }
 
 // parseMembers expands the -members flag: a comma-separated list, or

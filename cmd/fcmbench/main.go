@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/fcmsketch/fcm/internal/em"
@@ -100,7 +102,12 @@ func main() {
 			exitCode = 1
 			continue
 		}
-		tables, err := e.Run(opts)
+		// Label the run so -debug-addr CPU profiles attribute samples to
+		// the experiment that burned them.
+		var tables []*exp.Table
+		pprof.Do(context.Background(),
+			pprof.Labels("subsystem", "bench", "experiment", id),
+			func(context.Context) { tables, err = e.Run(opts) })
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			exitCode = 1

@@ -16,10 +16,16 @@
 //	fcmctl -connect 127.0.0.1:9401 -iters 10 -reset
 //	fcmctl -connect 127.0.0.1:9401 -poll 5s -reset -retries 2
 //	fcmctl -metrics 127.0.0.1:9402
+//	fcmctl -traces 127.0.0.1:9402
+//	fcmctl -insight 127.0.0.1:9402
 //
 // With -metrics it scrapes a switch's telemetry endpoint instead of its
 // registers: the /healthz identity line followed by every metric series,
 // pretty-printed for humans (ci scripts grep the raw series names).
+// With -traces it renders the endpoint's flight-recorder traces slowest
+// first with delta fallback reasons highlighted; with -insight it renders
+// the live accuracy self-report (error bounds, cardinality validity,
+// saturation forecast) of a switch or a whole aggregated fleet.
 package main
 
 import (
@@ -40,7 +46,9 @@ import (
 	"github.com/fcmsketch/fcm"
 	"github.com/fcmsketch/fcm/internal/collect"
 	"github.com/fcmsketch/fcm/internal/em"
+	"github.com/fcmsketch/fcm/internal/insight"
 	"github.com/fcmsketch/fcm/internal/telemetry"
+	"github.com/fcmsketch/fcm/internal/telemetry/tracing"
 )
 
 func main() {
@@ -56,6 +64,8 @@ func main() {
 		delta    = flag.Bool("delta", false, "use the codec v3 delta protocol: after the first full snapshot only changed registers cross the wire (falls back to v2 against old switches)")
 		poll     = flag.Duration("poll", 0, "collect repeatedly at this interval instead of once")
 		metrics  = flag.String("metrics", "", "scrape and pretty-print a telemetry endpoint (host:port) instead of collecting")
+		traces   = flag.String("traces", "", "fetch a telemetry endpoint's flight-recorder traces (/debug/traces), slowest first, fallback reasons highlighted")
+		insights = flag.String("insight", "", "fetch a telemetry endpoint's live accuracy self-report (/debug/insight)")
 		logLevel = flag.String("log-level", "warn", "log verbosity in -poll mode: debug | info | warn | error")
 		version  = flag.Bool("version", false, "print build information and exit")
 	)
@@ -67,6 +77,18 @@ func main() {
 	}
 	if *metrics != "" {
 		if err := scrapeMetrics(os.Stdout, *metrics); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if *traces != "" {
+		if err := showTraces(os.Stdout, *traces); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if *insights != "" {
+		if err := showInsight(os.Stdout, *insights); err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -251,6 +273,85 @@ func scrapeMetrics(w io.Writer, addr string) error {
 			fmt.Fprintln(w, line)
 		}
 	}
+	return nil
+}
+
+// baseURL normalizes a host:port telemetry address into an http URL.
+func baseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
+// showTraces is the -traces subcommand: it pulls /debug/traces and
+// renders the retained traces slowest first, then summarizes the delta
+// fallback reasons seen across them — the first thing to look at when a
+// fleet's wire bytes jump.
+func showTraces(w io.Writer, addr string) error {
+	base := baseURL(addr)
+	cl := &http.Client{Timeout: 10 * time.Second}
+	var ex tracing.Export
+	if err := getJSON(cl, base+"/debug/traces", &ex); err != nil {
+		return fmt.Errorf("fetching %s/debug/traces: %w", base, err)
+	}
+	tracing.WriteText(w, ex)
+
+	// Highlight fallback reasons: any span annotated fallback=<reason>
+	// marks a poll that degraded from a delta to a full snapshot.
+	reasons := map[string]int{}
+	for _, t := range ex.Traces {
+		for _, sp := range t.Spans {
+			if r, ok := sp.Attrs["fallback"]; ok {
+				reasons[r]++
+			}
+		}
+	}
+	if len(reasons) > 0 {
+		keys := make([]string, 0, len(reasons))
+		for k := range reasons {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "FALLBACKS (delta degraded to full snapshot):\n")
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-20s %d trace(s)\n", k, reasons[k])
+		}
+	}
+	return nil
+}
+
+// showInsight is the -insight subcommand: it pulls /debug/insight and
+// renders the accuracy self-report — a fleet rollup when the endpoint is
+// an aggregator, a single report when it is a switch.
+func showInsight(w io.Writer, addr string) error {
+	base := baseURL(addr)
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(base + "/debug/insight")
+	if err != nil {
+		return fmt.Errorf("fetching %s/debug/insight: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetching %s/debug/insight: HTTP %d", base, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var fleet insight.FleetReport
+	if err := json.Unmarshal(body, &fleet); err != nil {
+		return fmt.Errorf("decoding insight report: %w", err)
+	}
+	if fleet.Region != nil || len(fleet.Members) > 0 {
+		insight.WriteFleetText(w, fleet)
+		return nil
+	}
+	var rep insight.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return fmt.Errorf("decoding insight report: %w", err)
+	}
+	insight.WriteText(w, rep)
 	return nil
 }
 

@@ -6,6 +6,12 @@
 //
 //	fcmgen -o trace.pcap -packets 1000000
 //	fcmgen -o zipf.pcap -model size -alpha 1.5 -packets 500000
+//	fcmgen -o trace.pcap -packets 1000000 -predict-mem 1300000
+//
+// With -predict-mem the generated trace is additionally replayed through
+// an FCM sketch of that size (the paper's 2-tree 8-ary geometry) and the
+// insight accuracy self-report is printed — the offline twin of a running
+// switch's /debug/insight, for sizing memory before deployment.
 package main
 
 import (
@@ -13,6 +19,9 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/fcmsketch/fcm/internal/core"
+	"github.com/fcmsketch/fcm/internal/hashing"
+	"github.com/fcmsketch/fcm/internal/insight"
 	"github.com/fcmsketch/fcm/internal/telemetry"
 	"github.com/fcmsketch/fcm/internal/trace"
 )
@@ -26,6 +35,7 @@ func main() {
 		avg     = flag.Float64("avg", 50, "average flow size in packets")
 		seed    = flag.Int64("seed", 1, "generation seed")
 		stats   = flag.Bool("stats", true, "print trace statistics")
+		predict = flag.Int("predict-mem", 0, "replay the trace through an FCM sketch of this many bytes and print its predicted accuracy report (0 = off)")
 		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -81,4 +91,37 @@ func main() {
 			*out, tr.NumPackets(), tr.NumFlows(), tr.MaxSize(),
 			float64(tr.NumPackets())/float64(tr.NumFlows()))
 	}
+
+	if *predict > 0 {
+		if err := predictAccuracy(tr, *predict); err != nil {
+			fmt.Fprintln(os.Stderr, "fcmgen:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// predictAccuracy replays the generated trace through the paper's default
+// FCM geometry at the given memory budget and prints the insight
+// self-report the deployed switch would serve at /debug/insight — §5's
+// error bound, linear-counting validity, and saturation state, evaluated
+// for this workload before any hardware is provisioned.
+func predictAccuracy(tr *trace.Trace, memBytes int) error {
+	sk, err := core.New(core.Config{
+		K:           8,
+		Trees:       2,
+		MemoryBytes: memBytes,
+		Hash:        hashing.NewBobFamily(0xfc3141),
+	})
+	if err != nil {
+		return fmt.Errorf("building %dB sketch: %w", memBytes, err)
+	}
+	sk.SetStats(core.NewStats(sk.Depth()))
+	tr.ForEachPacket(func(_ int, key []byte) { sk.Update(key, 1) })
+
+	obs := insight.Observe(sk)
+	obs.ExactMaxDegree = sk.MaxDegree()
+	rep := insight.NewAnalyzer(insight.Config{}).Note(obs)
+	fmt.Printf("\npredicted accuracy at %d bytes (k=8, 2 trees):\n", memBytes)
+	insight.WriteText(os.Stdout, rep)
+	return nil
 }

@@ -25,10 +25,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"syscall"
@@ -38,9 +40,11 @@ import (
 	"github.com/fcmsketch/fcm/internal/core"
 	"github.com/fcmsketch/fcm/internal/engine"
 	"github.com/fcmsketch/fcm/internal/hashing"
+	"github.com/fcmsketch/fcm/internal/insight"
 	"github.com/fcmsketch/fcm/internal/packet"
 	"github.com/fcmsketch/fcm/internal/pisa"
 	"github.com/fcmsketch/fcm/internal/telemetry"
+	"github.com/fcmsketch/fcm/internal/telemetry/tracing"
 	"github.com/fcmsketch/fcm/internal/trace"
 )
 
@@ -60,7 +64,8 @@ func main() {
 		maxSess  = flag.Int("max-sessions", 64, "max tracked codec v3 delta sessions (LRU-evicted beyond this; an evicted collector just gets one full snapshot)")
 		hhThresh = flag.Uint64("hh", 0, "print heavy hitters at this threshold (TopK programs)")
 		emitP4   = flag.Bool("emit-p4", false, "print the generated P4 program for the FCM geometry and exit")
-		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this HTTP address")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/traces and /debug/insight on this HTTP address")
+		flightOn = flag.Bool("flight-recorder", true, "capture flight-recorder traces of collection requests (served at /debug/traces)")
 		logLevel = flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
@@ -139,6 +144,11 @@ func main() {
 		src = locked
 	}
 
+	// The flight recorder is nil-safe end to end: with -flight-recorder
+	// =false the recorder stays disabled and every span call no-ops.
+	recorder := tracing.NewRecorder(tracing.RecorderConfig{})
+	recorder.SetEnabled(*flightOn)
+
 	var srv *collect.Server
 	if *listen != "" && src != nil {
 		srv, err = collect.NewServerConfig(*listen, src, collect.ServerConfig{
@@ -148,6 +158,7 @@ func main() {
 			MaxConns:     *maxConns,
 			MaxSessions:  *maxSess,
 			Logger:       logger,
+			Tracer:       recorder,
 		})
 		if err != nil {
 			fatalf("%v", err)
@@ -161,11 +172,19 @@ func main() {
 		reg := telemetry.NewRegistry()
 		telemetry.RegisterProcessMetrics(reg)
 		telemetry.RegisterBuildInfo(reg, telemetry.Build())
+		recorder.Instrument(reg)
+		var prober *insight.Prober
 		switch {
 		case eng != nil:
 			eng.Instrument(reg)
+			prober = eng.InstrumentInsight(reg, insight.Config{}, 0)
 		case locked != nil:
 			engine.InstrumentSketch(reg, sw.Sketch(), locked.SnapshotSketch)
+			an := insight.NewAnalyzer(insight.Config{})
+			prober = insight.NewProber(an, func() insight.Observation {
+				return insight.Observe(locked.SnapshotSketch())
+			}, 0)
+			insight.Instrument(reg, sw.Sketch().Depth(), prober.Report)
 		}
 		if srv != nil {
 			srv.Instrument(reg, "")
@@ -182,7 +201,11 @@ func main() {
 				extra["collect_conns"] = st.Conns
 			}
 			return extra
-		})
+		}, "/debug/traces", "/debug/insight")
+		mux.Handle("/debug/traces", recorder)
+		if prober != nil {
+			mux.Handle("/debug/insight", insight.Handler(prober.Report))
+		}
 		addr, shutdownTel, err := telemetry.Serve(*telAddr, mux)
 		if err != nil {
 			fatalf("%v", err)
@@ -268,13 +291,19 @@ func replaySharded(tr *trace.Trace, eng *engine.Engine) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			i := 0
-			tr.ForEachPacket(func(_ int, key []byte) {
-				if i%n == w {
-					eng.UpdateShard(w, key, 1)
-				}
-				i++
-			})
+			// Label the writer so CPU/goroutine profiles attribute ingest
+			// cost per shard (pprof label sets survive into the profile).
+			pprof.Do(context.Background(),
+				pprof.Labels("subsystem", "engine", "op", "shard_writer", "shard", fmt.Sprint(w)),
+				func(context.Context) {
+					i := 0
+					tr.ForEachPacket(func(_ int, key []byte) {
+						if i%n == w {
+							eng.UpdateShard(w, key, 1)
+						}
+						i++
+					})
+				})
 		}(w)
 	}
 	wg.Wait()

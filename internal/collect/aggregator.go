@@ -1,15 +1,19 @@
 package collect
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/fcmsketch/fcm/internal/core"
 	"github.com/fcmsketch/fcm/internal/hashing"
+	"github.com/fcmsketch/fcm/internal/insight"
 	"github.com/fcmsketch/fcm/internal/telemetry"
+	"github.com/fcmsketch/fcm/internal/telemetry/tracing"
 )
 
 // Aggregator is the middle tier of a collection tree: it polls a region of
@@ -38,6 +42,15 @@ type Aggregator struct {
 	memberSnaps   atomic.Uint64
 	merges        atomic.Uint64
 	resetRequests atomic.Uint64
+
+	// Accuracy introspection: one analyzer per member (fed on every
+	// absorbed snapshot, so each member's trend history is per-window)
+	// plus one for the merged region, re-observed behind a 1s TTL.
+	insightMu     sync.Mutex
+	memberInsight map[string]*insight.Analyzer
+	regionInsight *insight.Analyzer
+	regionAt      time.Time
+	regionLast    *insight.Report
 }
 
 // AggregatorConfig configures an Aggregator.
@@ -70,6 +83,11 @@ type AggregatorConfig struct {
 	OnMemberState func(addr string, from, to State)
 	// Logger receives structured records; nil discards them.
 	Logger *slog.Logger
+	// Tracer, when non-nil, is handed to every member poller (that does
+	// not carry its own) so each member poll records one flight-recorder
+	// trace whose spans run gate wait → client attempts → decode →
+	// delta apply → aggregator absorb.
+	Tracer *tracing.Recorder
 }
 
 // NewAggregator builds (but does not start) an aggregator.
@@ -78,9 +96,11 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		return nil, fmt.Errorf("collect: aggregator needs at least one member")
 	}
 	a := &Aggregator{
-		cfg:    cfg,
-		latest: make(map[string]*core.Sketch, len(cfg.Members)),
-		log:    telemetry.OrNop(cfg.Logger),
+		cfg:           cfg,
+		latest:        make(map[string]*core.Sketch, len(cfg.Members)),
+		log:           telemetry.OrNop(cfg.Logger),
+		memberInsight: make(map[string]*insight.Analyzer, len(cfg.Members)),
+		regionInsight: insight.NewAnalyzer(insight.Config{}),
 	}
 	members := make([]PollerConfig, len(cfg.Members))
 	for i := range cfg.Members {
@@ -97,10 +117,14 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		if !m.Delta {
 			m.Delta = cfg.Delta
 		}
+		if m.Tracer == nil {
+			m.Tracer = cfg.Tracer
+		}
 		addr := m.Addr
 		chained := m.OnSnapshot
-		m.OnSnapshot = func(snap *Snapshot) {
-			a.storeMember(addr, snap)
+		m.OnSnapshot = nil
+		m.onSnapshotCtx = func(ctx context.Context, snap *Snapshot) {
+			a.absorb(ctx, addr, snap)
 			if chained != nil {
 				chained(snap)
 			}
@@ -148,21 +172,79 @@ func (a *Aggregator) MemberAddrs() []string {
 	return addrs
 }
 
+// absorb folds one member snapshot in, as a span of the member's poll
+// trace when the poller carries one.
+func (a *Aggregator) absorb(ctx context.Context, addr string, snap *Snapshot) {
+	sp := tracing.FromContext(ctx).StartSpan("aggregator.absorb")
+	sp.Annotate("member", addr)
+	if err := a.storeMember(addr, snap); err != nil {
+		sp.Fail(err)
+	}
+	sp.End()
+}
+
 // storeMember installs a member's freshest sketch. The restored sketch is
 // stored as an immutable value — SnapshotSketchGen merges from these
 // references outside the lock, so a stored sketch is never mutated.
-func (a *Aggregator) storeMember(addr string, snap *Snapshot) {
+func (a *Aggregator) storeMember(addr string, snap *Snapshot) error {
 	sk, err := snap.Restore(a.cfg.Family)
 	if err != nil {
 		a.log.Warn("aggregator dropped unrestorable member snapshot",
 			"member", addr, "err", err)
-		return
+		return err
 	}
 	a.mu.Lock()
 	a.latest[addr] = sk
 	a.gen++
 	a.mu.Unlock()
 	a.memberSnaps.Add(1)
+	a.noteMemberInsight(addr, sk)
+	return nil
+}
+
+// noteMemberInsight feeds the member's accuracy analyzer. The restored
+// sketch is immutable and already in memory, so the register scan is the
+// only cost — once per member per window, the same order as the restore
+// itself.
+func (a *Aggregator) noteMemberInsight(addr string, sk *core.Sketch) {
+	a.insightMu.Lock()
+	an := a.memberInsight[addr]
+	if an == nil {
+		an = insight.NewAnalyzer(insight.Config{})
+		a.memberInsight[addr] = an
+	}
+	a.insightMu.Unlock()
+	an.ObserveSketch(sk)
+}
+
+// InsightReport assembles the fleet accuracy rollup: every member's
+// latest per-window self-report plus the merged region's, the /debug/
+// insight payload of fcmagg. The region merge is rate-limited to once
+// per second; between observations the cached report is served.
+func (a *Aggregator) InsightReport() insight.FleetReport {
+	fr := insight.FleetReport{Members: map[string]insight.Report{}}
+	a.insightMu.Lock()
+	for addr, an := range a.memberInsight {
+		if rep, ok := an.Last(); ok {
+			fr.Members[addr] = rep
+		}
+	}
+	refresh := time.Since(a.regionAt) >= time.Second
+	if !refresh && a.regionLast != nil {
+		rep := *a.regionLast
+		fr.Region = &rep
+	}
+	a.insightMu.Unlock()
+	if refresh {
+		if sk := a.SnapshotSketch(); sk != nil {
+			rep := a.regionInsight.ObserveSketch(sk)
+			a.insightMu.Lock()
+			a.regionAt, a.regionLast = time.Now(), &rep
+			a.insightMu.Unlock()
+			fr.Region = &rep
+		}
+	}
+	return fr
 }
 
 // SnapshotSketchGen implements GenerationalSource: the exact merge of
@@ -184,15 +266,24 @@ func (a *Aggregator) SnapshotSketchGen() (*core.Sketch, uint64) {
 	}
 	// Merge outside the lock: member updates keep landing while we fold.
 	// Map order is arbitrary but irrelevant — FCM merge is commutative and
-	// associative, so any order yields the same registers.
-	merged := refs[0].Clone()
-	for _, sk := range refs[1:] {
-		if err := merged.Merge(sk); err != nil {
-			// Geometry drift between members (mid-reconfiguration): serve
-			// nothing rather than a partial region.
-			a.log.Warn("aggregator member geometry mismatch, merge aborted", "err", err)
-			return nil, 0
-		}
+	// associative, so any order yields the same registers. The fold runs
+	// under pprof labels so profiles attribute region-merge CPU.
+	var merged *core.Sketch
+	pprof.Do(context.Background(), pprof.Labels("subsystem", "aggregator", "op", "fold"),
+		func(context.Context) {
+			merged = refs[0].Clone()
+			for _, sk := range refs[1:] {
+				if err := merged.Merge(sk); err != nil {
+					// Geometry drift between members (mid-reconfiguration):
+					// serve nothing rather than a partial region.
+					a.log.Warn("aggregator member geometry mismatch, merge aborted", "err", err)
+					merged = nil
+					return
+				}
+			}
+		})
+	if merged == nil {
+		return nil, 0
 	}
 	a.merges.Add(1)
 	return merged, gen

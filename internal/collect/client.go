@@ -7,12 +7,14 @@ import (
 	"log/slog"
 	"math/rand"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/fcmsketch/fcm/internal/telemetry"
+	"github.com/fcmsketch/fcm/internal/telemetry/tracing"
 )
 
 // ClientConfig configures a collection client. Zero fields take the
@@ -266,10 +268,14 @@ func (c *Client) ReadSketchContext(ctx context.Context) (*Snapshot, error) {
 	// failure like any other — drop the tainted connection and retry.
 	var snap *Snapshot
 	_, err := c.call(ctx, []byte{OpReadSketch}, true, func(payload []byte) error {
+		sp := tracing.FromContext(ctx).StartSpan("decode")
+		defer sp.End()
 		s, err := DecodeSnapshot(payload)
 		if err != nil {
+			sp.Fail(err)
 			return err
 		}
+		sp.Annotate("bytes", strconv.Itoa(len(payload)))
 		snap = s
 		return nil
 	})
@@ -290,13 +296,31 @@ func (c *Client) readDelta(ctx context.Context) (*Snapshot, error) {
 		c.mu.Unlock()
 		return req
 	}, true, func(payload []byte) error {
+		dsp := tracing.FromContext(ctx).StartSpan("decode")
 		frame, err := DecodeDeltaFrame(payload)
 		if err != nil {
+			dsp.Fail(err)
+			dsp.End()
 			return err
 		}
+		dsp.Annotate("bytes", strconv.Itoa(len(payload)))
+		dsp.End()
+		asp := tracing.FromContext(ctx).StartSpan("delta.apply")
+		defer asp.End()
 		s, err := c.applyDeltaFrame(frame)
 		if err != nil {
+			// The error text names the fallback reason (generation
+			// mismatch, bad block, state-CRC disagreement); the span keeps
+			// it next to the attempt that triggered the full-snapshot
+			// re-request.
+			asp.Annotate("fallback", "baseline_invalidated")
+			asp.Fail(err)
 			return err
+		}
+		if frame.Full {
+			asp.Annotate("kind", "full")
+		} else {
+			asp.Annotate("kind", "delta")
 		}
 		snap = s
 		return nil
@@ -392,6 +416,8 @@ func (c *Client) callReq(ctx context.Context, buildReq func() []byte, idempotent
 				return nil, errors.Join(append(attemptErrs, err)...)
 			}
 		}
+		asp := tracing.FromContext(ctx).StartSpan("client.attempt")
+		asp.Annotate("attempt", strconv.Itoa(attempt+1))
 		payload, err := c.attempt(ctx, buildReq())
 		if err == nil && decode != nil {
 			if derr := decode(payload); derr != nil {
@@ -404,8 +430,11 @@ func (c *Client) callReq(ctx context.Context, buildReq func() []byte, idempotent
 			}
 		}
 		if err == nil {
+			asp.End()
 			return payload, nil
 		}
+		asp.Fail(err)
+		asp.End()
 		attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", attempt+1, err))
 		var se *ServerError
 		if errors.As(err, &se) || ctx.Err() != nil {
@@ -448,10 +477,16 @@ func (c *Client) ensureConn(ctx context.Context) (net.Conn, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	dsp := tracing.FromContext(ctx).StartSpan("client.dial")
+	dsp.Annotate("addr", c.cfg.Addr)
 	conn, err := c.cfg.Dial(c.cfg.Addr, c.cfg.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("collect: dial %s: %w", c.cfg.Addr, err)
+		err = fmt.Errorf("collect: dial %s: %w", c.cfg.Addr, err)
+		dsp.Fail(err)
+		dsp.End()
+		return nil, err
 	}
+	dsp.End()
 	c.mu.Lock()
 	c.conn = conn
 	dials := c.dials + 1

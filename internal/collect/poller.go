@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"github.com/fcmsketch/fcm/internal/telemetry"
+	"github.com/fcmsketch/fcm/internal/telemetry/tracing"
 )
 
 // State is the poller's health, derived from consecutive collection
@@ -142,6 +144,18 @@ type PollerConfig struct {
 	// Logger receives structured health and failure records (and is
 	// passed through to the underlying client); nil discards them.
 	Logger *slog.Logger
+	// Tracer, when non-nil, records one flight-recorder trace per
+	// scheduled collection: gate wait, connect/retry attempts, frame
+	// decode, delta apply (with fallback reason), rotation, and delivery
+	// all under one trace ID, which also stamps this poller's log
+	// records. nil (the default) costs one pointer check per span site.
+	Tracer *tracing.Recorder
+
+	// onSnapshotCtx, when set, is called instead-of-first on delivery
+	// with the poll's context so downstream stages (the Aggregator's
+	// absorb) join the poll trace. Package-internal: the public
+	// callbacks keep their signatures.
+	onSnapshotCtx func(context.Context, *Snapshot)
 }
 
 // NewPoller validates the configuration and returns an unstarted Poller.
@@ -152,7 +166,7 @@ func NewPoller(cfg PollerConfig) (*Poller, error) {
 	if cfg.Interval <= 0 {
 		return nil, fmt.Errorf("collect: poller interval must be positive, got %v", cfg.Interval)
 	}
-	if cfg.OnSnapshot == nil && cfg.OnWindow == nil {
+	if cfg.OnSnapshot == nil && cfg.OnWindow == nil && cfg.onSnapshotCtx == nil {
 		return nil, fmt.Errorf("collect: poller needs an OnSnapshot or OnWindow callback")
 	}
 	if cfg.Timeout <= 0 {
@@ -240,8 +254,15 @@ func (p *Poller) Stats() PollerStats {
 	return p.stats
 }
 
-// loop runs until ctx is canceled.
+// loop runs until ctx is canceled. The goroutine carries pprof labels so
+// CPU and goroutine profiles attribute collection time per switch.
 func (p *Poller) loop(ctx context.Context, stopped chan<- struct{}) {
+	pprof.Do(ctx, pprof.Labels("subsystem", "poller", "switch", p.cfg.Addr), func(ctx context.Context) {
+		p.run(ctx, stopped)
+	})
+}
+
+func (p *Poller) run(ctx context.Context, stopped chan<- struct{}) {
 	defer close(stopped)
 	defer p.client.Close() //nolint:errcheck // teardown
 	if p.cfg.InitialDelay > 0 {
@@ -276,10 +297,21 @@ func (p *Poller) loop(ctx context.Context, stopped chan<- struct{}) {
 }
 
 // runOnce performs one scheduled collection, honoring the shared fan-in
-// gate when one is configured.
+// gate when one is configured. With a Tracer configured, the whole
+// window — gate wait through delivery — records as one trace.
 func (p *Poller) runOnce(ctx context.Context) {
+	tr := p.cfg.Tracer.StartTrace("poll")
+	defer tr.End()
+	tr.Root().Annotate("addr", p.cfg.Addr)
+	ctx = tracing.NewContext(ctx, tr)
 	if p.cfg.Gate != nil {
-		if err := p.cfg.Gate.Acquire(ctx); err != nil {
+		gsp := tr.StartSpan("gate.wait")
+		err := p.cfg.Gate.Acquire(ctx)
+		if err != nil {
+			gsp.Fail(err)
+		}
+		gsp.End()
+		if err != nil {
 			return
 		}
 		defer p.cfg.Gate.Release()
@@ -289,10 +321,11 @@ func (p *Poller) runOnce(ctx context.Context) {
 		return
 	}
 	if err != nil {
-		p.noteFailure(err)
+		tr.Root().Fail(err)
+		p.noteFailure(ctx, err)
 		return
 	}
-	p.noteSuccess(snap)
+	p.noteSuccess(ctx, snap)
 }
 
 // collectOnce reads (and optionally resets) one snapshot over the reused
@@ -303,11 +336,17 @@ func (p *Poller) collectOnce(ctx context.Context) (*Snapshot, error) {
 		return nil, err
 	}
 	if p.cfg.Reset {
-		if err := p.client.ResetSketchContext(ctx); err != nil {
+		rsp := tracing.FromContext(ctx).StartSpan("rotate")
+		err := p.client.ResetSketchContext(ctx)
+		if err != nil {
+			rsp.Fail(err)
+		}
+		rsp.End()
+		if err != nil {
 			// The snapshot is good but the rotation failed: deliver it
 			// anyway and let failure accounting flag the window — the
 			// next snapshot will fold this window's traffic again.
-			p.noteSuccess(snap)
+			p.noteSuccess(ctx, snap)
 			return nil, fmt.Errorf("collect: window rotation failed after snapshot: %w", err)
 		}
 	}
@@ -315,8 +354,10 @@ func (p *Poller) collectOnce(ctx context.Context) (*Snapshot, error) {
 }
 
 // noteFailure updates failure accounting and health after a missed
-// collection.
-func (p *Poller) noteFailure(err error) {
+// collection. ctx carries the poll trace: the failure records it emits
+// join the flight recorder's errored ring by trace_id.
+func (p *Poller) noteFailure(ctx context.Context, err error) {
+	log := tracing.FromContext(ctx).LogWith(p.log)
 	p.statMu.Lock()
 	p.stats.Failed++
 	p.stats.SkippedWindows++
@@ -330,13 +371,13 @@ func (p *Poller) noteFailure(err error) {
 		p.stats.TransitionsTo[to]++
 	}
 	p.statMu.Unlock()
-	p.log.Debug("collection failed",
+	log.Debug("collection failed",
 		"addr", p.cfg.Addr, "err", err, "consecutive", consecutive)
 	if p.cfg.OnError != nil {
 		p.cfg.OnError(err)
 	}
 	if to != from {
-		p.log.Warn("switch health degraded",
+		log.Warn("switch health degraded",
 			"addr", p.cfg.Addr, "from", from.String(), "to", to.String(),
 			"consecutive", consecutive)
 		if p.cfg.OnStateChange != nil {
@@ -346,8 +387,9 @@ func (p *Poller) noteFailure(err error) {
 }
 
 // noteSuccess delivers a snapshot, reporting how many scheduled windows
-// were skipped since the previous delivery, and restores health.
-func (p *Poller) noteSuccess(snap *Snapshot) {
+// were skipped since the previous delivery, and restores health. ctx
+// carries the poll trace so downstream absorbs join it.
+func (p *Poller) noteSuccess(ctx context.Context, snap *Snapshot) {
 	p.statMu.Lock()
 	p.stats.Collected++
 	p.stats.LastSuccess = time.Now()
@@ -360,14 +402,18 @@ func (p *Poller) noteSuccess(snap *Snapshot) {
 		p.stats.TransitionsTo[Healthy]++
 	}
 	p.statMu.Unlock()
-	if p.cfg.OnSnapshot != nil {
+	dsp := tracing.FromContext(ctx).StartSpan("deliver")
+	if p.cfg.onSnapshotCtx != nil {
+		p.cfg.onSnapshotCtx(ctx, snap)
+	} else if p.cfg.OnSnapshot != nil {
 		p.cfg.OnSnapshot(snap)
 	}
 	if p.cfg.OnWindow != nil {
 		p.cfg.OnWindow(snap, skipped)
 	}
+	dsp.End()
 	if from != Healthy {
-		p.log.Info("switch recovered",
+		tracing.FromContext(ctx).LogWith(p.log).Info("switch recovered",
 			"addr", p.cfg.Addr, "from", from.String(), "skipped_windows", skipped)
 		if p.cfg.OnStateChange != nil {
 			p.cfg.OnStateChange(from, Healthy)

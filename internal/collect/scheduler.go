@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/fcmsketch/fcm/internal/telemetry"
+	"github.com/fcmsketch/fcm/internal/telemetry/tracing"
 )
 
 // Gate bounds how many collections are in flight at once across the
@@ -58,6 +59,9 @@ type SchedulerConfig struct {
 	JitterSeed int64
 	// Logger is handed to members that do not carry their own.
 	Logger *slog.Logger
+	// Tracer is handed to members that do not carry their own, so every
+	// scheduled poll records a flight-recorder trace.
+	Tracer *tracing.Recorder
 }
 
 // Scheduler runs one poller per switch with staggered, jittered start
@@ -100,6 +104,9 @@ func NewScheduler(cfg SchedulerConfig, members []PollerConfig) (*Scheduler, erro
 		}
 		if m.Logger == nil {
 			m.Logger = cfg.Logger
+		}
+		if m.Tracer == nil {
+			m.Tracer = cfg.Tracer
 		}
 		if m.InitialDelay <= 0 {
 			// Slot i of N plus jitter within the slot. The floor of 1ns

@@ -1,0 +1,127 @@
+package collect
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// schedDelays builds an (unstarted) scheduler over n members and returns
+// each member's computed initial delay.
+func schedDelays(t *testing.T, n int, interval time.Duration, seed int64) []time.Duration {
+	t.Helper()
+	members := make([]PollerConfig, n)
+	for i := range members {
+		members[i] = PollerConfig{Addr: "127.0.0.1:1", OnSnapshot: func(*Snapshot) {}}
+	}
+	sched, err := NewScheduler(SchedulerConfig{Interval: interval, JitterSeed: seed}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]time.Duration, n)
+	for i, p := range sched.Pollers() {
+		out[i] = p.cfg.InitialDelay
+	}
+	return out
+}
+
+// TestSchedulerSpreadWithinInterval: whatever the fleet size, every
+// member's staggered start (slot + jitter) lands inside the first
+// collection interval — the property that decorrelates the fleet without
+// delaying any member by more than one period.
+func TestSchedulerSpreadWithinInterval(t *testing.T) {
+	interval := time.Second
+	for _, n := range []int{1, 2, 3, 8, 16, 64} {
+		delays := schedDelays(t, n, interval, 7)
+		for i, d := range delays {
+			if d <= 0 {
+				t.Errorf("n=%d: member %d has non-positive delay %v", n, i, d)
+			}
+			if d > interval {
+				t.Errorf("n=%d: member %d delay %v exceeds the interval %v", n, i, d, interval)
+			}
+		}
+	}
+}
+
+// TestSchedulerJitterReproducible: the jitter is a pure function of the
+// seed, so a fleet restarted with the same seed reproduces its schedule
+// exactly (and a different seed decorrelates two aggregators sharing an
+// interval).
+func TestSchedulerJitterReproducible(t *testing.T) {
+	a := schedDelays(t, 8, time.Second, 42)
+	b := schedDelays(t, 8, time.Second, 42)
+	c := schedDelays(t, 8, time.Second, 43)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("member %d: same seed gave %v then %v", i, a[i], b[i])
+		}
+	}
+	differs := false
+	for i := range a {
+		if a[i] != c[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestSchedulerGateBound: under a fleet whose members all want to collect
+// at once (tiny interval, slow consumers), the number of concurrently
+// delivered collections never exceeds the fan-in bound. The snapshot
+// callback runs while the poller still holds its gate slot, so observing
+// concurrency inside it observes gate occupancy.
+func TestSchedulerGateBound(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", NewLockedSketch(filledSketch(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const bound = 3
+	var cur, peak, windows atomic.Int64
+	onSnap := func(*Snapshot) {
+		c := cur.Add(1)
+		for {
+			m := peak.Load()
+			if c <= m || peak.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond) // hold the slot so the fleet piles up
+		cur.Add(-1)
+		windows.Add(1)
+	}
+	var members []PollerConfig
+	for i := 0; i < 12; i++ {
+		members = append(members, PollerConfig{Addr: srv.Addr(), OnSnapshot: onSnap})
+	}
+	sched, err := NewScheduler(SchedulerConfig{
+		Interval:    20 * time.Millisecond,
+		MaxInFlight: bound,
+		JitterSeed:  7,
+	}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for windows.Load() < 24 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	sched.Stop()
+
+	if got := windows.Load(); got < 24 {
+		t.Fatalf("only %d windows delivered before the deadline", got)
+	}
+	if got := peak.Load(); got > bound {
+		t.Fatalf("observed %d concurrent collections, gate bound is %d", got, bound)
+	}
+	if got := sched.Gate().InFlight(); got != 0 {
+		t.Fatalf("%d gate slots still held after Stop", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"github.com/fcmsketch/fcm/internal/core"
 	"github.com/fcmsketch/fcm/internal/telemetry"
+	"github.com/fcmsketch/fcm/internal/telemetry/tracing"
 )
 
 // Wire protocol: every message is a 1-byte opcode framed request followed
@@ -97,6 +98,11 @@ type ServerConfig struct {
 	// Logger receives structured lifecycle and failure records; nil
 	// discards them.
 	Logger *slog.Logger
+	// Tracer, when non-nil, records one flight-recorder trace per served
+	// request (snapshot copy, encode, write — and for deltas, the diff
+	// and any fallback with its reason). nil costs one pointer check per
+	// request.
+	Tracer *tracing.Recorder
 }
 
 const (
@@ -409,34 +415,37 @@ func (s *Server) serve(conn net.Conn) {
 		}
 		switch req[0] {
 		case OpReadSketch:
-			// The source hands over an owned copy; encoding and the
-			// network write below run with no data-plane lock held.
-			sk := s.src.SnapshotSketch()
-			if sk == nil {
-				// An aggregator that has not completed a member poll yet
-				// has nothing to serve; the client retries.
-				s.writeError(conn, "no sketch available yet") //nolint:errcheck
-				return
-			}
-			data, err := TakeSnapshot(sk).Encode()
+			tr := s.cfg.Tracer.StartTrace("serve.read_sketch")
+			tr.Root().Annotate("peer", conn.RemoteAddr().String())
+			err := s.serveReadSketch(conn, tr)
 			if err != nil {
-				s.writeError(conn, err.Error()) //nolint:errcheck
+				tr.Root().Fail(err)
+			}
+			tr.End()
+			if err != nil {
 				return
 			}
-			if err := s.writeFrameDeadline(conn, append([]byte{statusOK}, data...)); err != nil {
-				return
-			}
-			s.reads.Add(1)
-			s.fullWireBytes.Add(uint64(len(data)))
-			s.log.Debug("snapshot served",
-				"peer", conn.RemoteAddr().String(), "bytes", len(data))
 		case OpReadDelta:
-			if err := s.serveDelta(conn, req); err != nil {
+			tr := s.cfg.Tracer.StartTrace("serve.read_delta")
+			tr.Root().Annotate("peer", conn.RemoteAddr().String())
+			err := s.serveDelta(conn, req, tr)
+			if err != nil {
+				tr.Root().Fail(err)
+			}
+			tr.End()
+			if err != nil {
 				return
 			}
 		case OpResetSketch:
+			tr := s.cfg.Tracer.StartTrace("serve.reset")
+			tr.Root().Annotate("peer", conn.RemoteAddr().String())
 			s.src.ResetSketch()
-			if err := s.writeFrameDeadline(conn, []byte{statusOK}); err != nil {
+			err := s.writeFrameDeadline(conn, []byte{statusOK})
+			if err != nil {
+				tr.Root().Fail(err)
+			}
+			tr.End()
+			if err != nil {
 				return
 			}
 			s.resets.Add(1)
@@ -446,6 +455,46 @@ func (s *Server) serve(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// serveReadSketch handles one OpReadSketch request. A non-nil return
+// means the connection must close.
+func (s *Server) serveReadSketch(conn net.Conn, tr *tracing.Trace) error {
+	// The source hands over an owned copy; encoding and the network
+	// write below run with no data-plane lock held.
+	ssp := tr.StartSpan("snapshot")
+	sk := s.src.SnapshotSketch()
+	ssp.End()
+	if sk == nil {
+		// An aggregator that has not completed a member poll yet has
+		// nothing to serve; the client retries.
+		s.writeError(conn, "no sketch available yet") //nolint:errcheck // teardown follows
+		return fmt.Errorf("collect: source has no sketch yet")
+	}
+	esp := tr.StartSpan("encode")
+	data, err := TakeSnapshot(sk).Encode()
+	if err != nil {
+		esp.Fail(err)
+		esp.End()
+		s.writeError(conn, err.Error()) //nolint:errcheck // teardown follows
+		return err
+	}
+	esp.Annotate("bytes", fmt.Sprint(len(data)))
+	esp.End()
+	wsp := tr.StartSpan("write")
+	err = s.writeFrameDeadline(conn, append([]byte{statusOK}, data...))
+	if err != nil {
+		wsp.Fail(err)
+	}
+	wsp.End()
+	if err != nil {
+		return err
+	}
+	s.reads.Add(1)
+	s.fullWireBytes.Add(uint64(len(data)))
+	s.log.Debug("snapshot served",
+		"peer", conn.RemoteAddr().String(), "bytes", len(data))
+	return nil
 }
 
 // writeFrameDeadline writes one frame under the server's write deadline.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"github.com/fcmsketch/fcm/internal/telemetry/tracing"
 )
 
 // Delta-protocol server state: per-client sessions and the OpReadDelta
@@ -142,7 +144,9 @@ func (s *Server) genSnapshot() (*Snapshot, uint64, bool) {
 // serveDelta handles one OpReadDelta request. A non-nil return means the
 // connection is done (protocol violation or write failure) and must be
 // closed — matching the v2 handlers, which close after any error status.
-func (s *Server) serveDelta(conn net.Conn, req []byte) error {
+// tr (nil-safe) records the snapshot, diff, and write phases, and names
+// the fallback reason when the response degraded to a full snapshot.
+func (s *Server) serveDelta(conn net.Conn, req []byte, tr *tracing.Trace) error {
 	if len(req) != readDeltaReqLen {
 		msg := fmt.Sprintf("delta request of %dB, want %d", len(req), readDeltaReqLen)
 		s.writeError(conn, msg) //nolint:errcheck // connection teardown follows
@@ -152,7 +156,9 @@ func (s *Server) serveDelta(conn net.Conn, req []byte) error {
 	hasBaseline := req[9] == 1
 	ackedGen := binary.BigEndian.Uint64(req[10:])
 
+	ssp := tr.StartSpan("snapshot")
 	cur, curGen, generational := s.genSnapshot()
+	ssp.End()
 	if cur == nil {
 		s.writeError(conn, "no sketch available yet") //nolint:errcheck // teardown follows
 		return fmt.Errorf("collect: source has no sketch yet")
@@ -171,6 +177,7 @@ func (s *Server) serveDelta(conn net.Conn, req []byte) error {
 		sess.haveSent, sess.sent = false, nil
 	}
 
+	dsp := tr.StartSpan("diff")
 	frame := &DeltaFrame{NewGen: curGen}
 	fallback := -1
 	switch {
@@ -199,6 +206,10 @@ func (s *Server) serveDelta(conn net.Conn, req []byte) error {
 		}
 	}
 	if fallback >= 0 {
+		dsp.Annotate("fallback", fallbackReasons[fallback])
+	}
+	dsp.End()
+	if fallback >= 0 {
 		s.fallbacks[fallback].Add(1)
 		frame.Full = true
 		frame.BaseGen = 0
@@ -211,12 +222,23 @@ func (s *Server) serveDelta(conn net.Conn, req []byte) error {
 	sess.sentGen, sess.sent, sess.sentCRC = curGen, cur, frame.StateCRC
 	sess.mu.Unlock()
 
+	esp := tr.StartSpan("encode")
 	data, err := frame.Encode()
 	if err != nil {
+		esp.Fail(err)
+		esp.End()
 		s.writeError(conn, err.Error()) //nolint:errcheck // teardown follows
 		return err
 	}
-	if err := s.writeFrameDeadline(conn, append([]byte{statusOK}, data...)); err != nil {
+	esp.Annotate("bytes", fmt.Sprint(len(data)))
+	esp.End()
+	wsp := tr.StartSpan("write")
+	err = s.writeFrameDeadline(conn, append([]byte{statusOK}, data...))
+	if err != nil {
+		wsp.Fail(err)
+	}
+	wsp.End()
+	if err != nil {
 		return err
 	}
 	s.deltaReads.Add(1)

@@ -1,0 +1,47 @@
+package core
+
+// This file holds the register scans behind the live accuracy
+// introspection (internal/insight): per-stage count mass and headroom.
+// Like StageOccupancy/OverflowedNodes they walk every register — call
+// them on snapshots or behind a scrape-time TTL probe, never on the
+// ingest path.
+
+// StageLoad returns, per stage, the count mass resident at that stage
+// summed across trees: overflowed nodes contribute their counting
+// capacity θ_l, terminal nodes their value. Dividing by NumTrees gives
+// the per-tree mass; the stage-0 entry divided by NumTrees equals
+// TotalCount absent promotions. The per-stage split is what prices each
+// stage's collision error (ε_l = e/w_l applies to the mass that reached
+// stage l).
+func (s *Sketch) StageLoad() []uint64 {
+	load := make([]uint64, len(s.widths))
+	last := len(s.widths) - 1
+	for _, tr := range s.trees {
+		for l := range tr.views {
+			for i := 0; i < tr.views[l].n; i++ {
+				v := tr.load(l, i)
+				if v == tr.mark[l] && l < last {
+					load[l] += uint64(tr.max[l])
+				} else {
+					load[l] += uint64(v)
+				}
+			}
+		}
+	}
+	return load
+}
+
+// MaxStageValue returns the largest register value at stage l across all
+// trees — at the root stage, the saturation headroom signal: the sketch
+// starts clamping (silently undercounting) when this reaches StageMax.
+func (s *Sketch) MaxStageValue(l int) uint64 {
+	max := uint32(0)
+	for _, tr := range s.trees {
+		for i := 0; i < tr.views[l].n; i++ {
+			if v := tr.load(l, i); v > max {
+				max = v
+			}
+		}
+	}
+	return uint64(max)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/fcmsketch/fcm/internal/core"
+	"github.com/fcmsketch/fcm/internal/insight"
 	"github.com/fcmsketch/fcm/internal/telemetry"
 )
 
@@ -71,6 +72,58 @@ func InstrumentSketch(reg *telemetry.Registry, sk *core.Sketch, snapshot func() 
 	st := core.NewStats(sk.Depth())
 	sk.SetStats(st)
 	registerSketchSeries(reg, sk.Depth(), []*core.Stats{st}, snapshot)
+}
+
+// ObserveInsight scans a merged snapshot into an insight.Observation.
+// Snapshot clones drop the shards' Stats attachment, so the cumulative
+// hot-path counters are re-derived by summing across shards (zero when
+// the engine was never instrumented — the analyzer falls back to
+// register-derived signals). Walks every register: scrape-time or
+// per-window only.
+func (e *Engine) ObserveInsight() insight.Observation {
+	sk, _ := e.Snapshot()
+	obs := insight.Observe(sk)
+	prom := make([]uint64, sk.Depth()-1)
+	have := false
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		st := sh.sk.Stats()
+		sh.mu.Unlock()
+		if st == nil {
+			continue
+		}
+		have = true
+		obs.Counts.Updates += st.Updates.Load()
+		obs.Counts.Saturations += st.Saturations.Load()
+		for l := range prom {
+			prom[l] += st.PromotionCount(l)
+		}
+	}
+	if have {
+		obs.Counts.Promotions = prom
+	}
+	return obs
+}
+
+// InsightProber wraps ObserveInsight in a TTL-cached accuracy analyzer —
+// the report source for the /debug/insight endpoint and the insight
+// gauges (ttl <= 0 takes the Prober default of 1s).
+func (e *Engine) InsightProber(cfg insight.Config, ttl time.Duration) *insight.Prober {
+	return insight.NewProber(insight.NewAnalyzer(cfg), e.ObserveInsight, ttl)
+}
+
+// InstrumentInsight registers the accuracy self-report gauges
+// (insight.Instrument) backed by a fresh prober, and returns that prober
+// so the caller can also mount it as /debug/insight.
+func (e *Engine) InstrumentInsight(reg *telemetry.Registry, cfg insight.Config, ttl time.Duration) *insight.Prober {
+	sh := &e.shards[0]
+	sh.mu.Lock()
+	depth := sh.sk.Depth()
+	sh.mu.Unlock()
+	p := e.InsightProber(cfg, ttl)
+	insight.Instrument(reg, depth, p.Report)
+	return p
 }
 
 // registerSketchSeries exports the FCM sketch's self-telemetry: update

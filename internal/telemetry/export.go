@@ -15,10 +15,10 @@ import (
 // series plus `_sum` and `_count`.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, f := range r.snapshotFamilies() {
-		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
-				return err
-			}
+		// Registration rejects empty help, so every family announces
+		// itself — the property LintExposition enforces on scrapes.
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.mtype); err != nil {
 			return err

@@ -28,7 +28,10 @@ type Health struct {
 //
 // extra, when non-nil, contributes component-specific health fields
 // (program, listen address, shard count, …) computed per request.
-func NewMux(reg *Registry, component string, extra func() map[string]any) *http.ServeMux {
+// extraPaths are additional endpoints the caller mounts on the returned
+// mux (e.g. /debug/traces, /debug/insight); they are listed in the "/"
+// index so operators can discover them.
+func NewMux(reg *Registry, component string, extra func() map[string]any, extraPaths ...string) *http.ServeMux {
 	start := time.Now()
 	build := Build()
 	mux := http.NewServeMux()
@@ -59,6 +62,9 @@ func NewMux(reg *Registry, component string, extra func() map[string]any) *http.
 			return
 		}
 		fmt.Fprintf(w, "%s telemetry\n\n/metrics\n/healthz\n/debug/pprof/\n", component)
+		for _, p := range extraPaths {
+			fmt.Fprintln(w, p)
+		}
 	})
 	return mux
 }

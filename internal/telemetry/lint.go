@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file is the scrape-side half of the exposition contract: a small
+// parser for the Prometheus text format (version 0.0.4) plus lint checks
+// that every sample line belongs to a family announced with `# HELP` and
+// `# TYPE`, carries a declared type, and renders a finite value. The
+// registry enforces the write side at registration time (no empty help,
+// well-formed names and label sets); LintExposition verifies the same
+// properties hold on the bytes a scraper actually receives, so tests and
+// ci.sh can assert the endpoint output — not just the in-process state —
+// is well-formed.
+
+// expositionTypes are the metric types the text format may declare.
+var expositionTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// histogramSuffixes are the synthetic series a histogram family expands
+// into; a sample `x_bucket{...}` belongs to family `x` when `x` was
+// declared a histogram.
+var histogramSuffixes = []string{"_bucket", "_sum", "_count"}
+
+// LintExposition parses a Prometheus text scrape and returns every
+// violation found: sample lines with no preceding `# HELP`/`# TYPE`
+// announcement, duplicate or malformed announcements, unparseable or
+// non-finite sample values. A clean scrape returns nil.
+func LintExposition(data []byte) []error {
+	var errs []error
+	type fam struct {
+		help, typed bool
+		mtype       string
+	}
+	fams := map[string]*fam{}
+	get := func(name string) *fam {
+		f, ok := fams[name]
+		if !ok {
+			f = &fam{}
+			fams[name] = f
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				// Plain comments are legal; only HELP/TYPE are structured.
+				continue
+			}
+			name := fields[2]
+			f := get(name)
+			switch fields[1] {
+			case "HELP":
+				if f.help {
+					errs = append(errs, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name))
+				}
+				if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+					errs = append(errs, fmt.Errorf("line %d: empty HELP text for %s", lineNo, name))
+				}
+				f.help = true
+			case "TYPE":
+				if f.typed {
+					errs = append(errs, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name))
+				}
+				if len(fields) < 4 || !expositionTypes[strings.TrimSpace(fields[3])] {
+					errs = append(errs, fmt.Errorf("line %d: invalid TYPE for %s: %q", lineNo, name, line))
+				} else {
+					f.mtype = strings.TrimSpace(fields[3])
+				}
+				f.typed = true
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %w", lineNo, err))
+			continue
+		}
+		famName := name
+		if _, ok := fams[famName]; !ok {
+			for _, suf := range histogramSuffixes {
+				base := strings.TrimSuffix(name, suf)
+				if base != name {
+					if bf, ok := fams[base]; ok && bf.mtype == "histogram" {
+						famName = base
+					}
+					break
+				}
+			}
+		}
+		f, ok := fams[famName]
+		switch {
+		case !ok:
+			errs = append(errs, fmt.Errorf("line %d: sample %s precedes any HELP/TYPE announcement", lineNo, name))
+			continue
+		case !f.help:
+			errs = append(errs, fmt.Errorf("line %d: family %s has no HELP", lineNo, famName))
+		case !f.typed:
+			errs = append(errs, fmt.Errorf("line %d: family %s has no TYPE", lineNo, famName))
+		}
+		// +Inf is legal only as a bucket bound inside the le label; sample
+		// values themselves must stay finite or the JSON view breaks.
+		if math.IsNaN(value) || math.IsInf(value, 0) {
+			errs = append(errs, fmt.Errorf("line %d: non-finite value for %s%s", lineNo, name, labels))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("scanning exposition: %w", err))
+	}
+	return errs
+}
+
+// parseSampleLine splits `name{labels} value [timestamp]` and validates
+// each part.
+func parseSampleLine(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name, labels, rest = rest[:i], rest[i+1:j], strings.TrimSpace(rest[j+1:])
+		if labels == "" || !labelsRe.MatchString(labels) {
+			return "", "", 0, fmt.Errorf("malformed label set in %q", line)
+		}
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("sample line %q has no value", line)
+		}
+		name, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	if !nameRe.MatchString(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name in %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("sample line %q has %d value fields, want 1-2", line, len(fields))
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("unparseable value in %q: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// Lint checks the registry's in-process state against the same contract:
+// every family has help text and a known type, and no family is empty
+// (registered but exporting no series — usually a forgotten value func).
+// Histograms are never empty (they export their own bucket series).
+func (r *Registry) Lint() []error {
+	var errs []error
+	for _, f := range r.snapshotFamilies() {
+		if f.help == "" {
+			errs = append(errs, fmt.Errorf("family %s has no help text", f.name))
+		}
+		if !expositionTypes[f.mtype] {
+			errs = append(errs, fmt.Errorf("family %s has unknown type %q", f.name, f.mtype))
+		}
+		if f.hist == nil && len(f.samples) == 0 {
+			errs = append(errs, fmt.Errorf("family %s exports no series", f.name))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// populated builds a registry exercising every instrument kind the repo
+// registers: plain and func counters/gauges, labeled series, a sharded
+// counter, a histogram, and the shared process metrics.
+func populated(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	c := reg.Counter("fcm_test_events_total", "Events observed by the lint fixture.")
+	c.Add(3)
+	g := reg.Gauge("fcm_test_depth", "Current depth of the lint fixture.")
+	g.Set(-2)
+	reg.CounterFunc("fcm_test_scrapes_total", "Scrape-time computed counter.", func() float64 { return 7 })
+	reg.GaugeFuncL("fcm_test_level_occupancy", `level="0"`, "Labeled gauge, level 0.", func() float64 { return 0.5 })
+	reg.GaugeFuncL("fcm_test_level_occupancy", `level="1"`, "Labeled gauge, level 1.", func() float64 { return 0.25 })
+	sc := reg.ShardedCounter("fcm_test_shard_updates_total", "Per-shard updates.", "shard", 3)
+	sc.Add(1, 42)
+	h := reg.Histogram("fcm_test_latency_seconds", "Fixture latencies.", nil)
+	h.Observe(0.001)
+	h.Observe(2.5)
+	RegisterProcessMetrics(reg)
+	return reg
+}
+
+// TestScrapeAndParse round-trips a real HTTP scrape through the
+// exposition parser: every series the registry serves must belong to a
+// family announced with HELP and TYPE and carry a finite value.
+func TestScrapeAndParse(t *testing.T) {
+	reg := populated(t)
+	srv := httptest.NewServer(reg)
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"# HELP fcm_test_events_total",
+		"# TYPE fcm_test_events_total counter",
+		`fcm_test_level_occupancy{level="1"} 0.25`,
+		`fcm_test_shard_updates_total{shard="1"} 42`,
+		`fcm_test_latency_seconds_bucket{le="+Inf"} 2`,
+		"fcm_test_latency_seconds_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if errs := LintExposition([]byte(body)); len(errs) != 0 {
+		t.Fatalf("scrape failed lint: %v", errs)
+	}
+	if errs := reg.Lint(); len(errs) != 0 {
+		t.Fatalf("registry failed lint: %v", errs)
+	}
+}
+
+func TestLintExpositionViolations(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"no announcement", "fcm_x_total 1\n", "precedes any HELP/TYPE"},
+		{"missing type",
+			"# HELP fcm_x_total Things.\nfcm_x_total 1\n", "has no TYPE"},
+		{"missing help",
+			"# TYPE fcm_x_total counter\nfcm_x_total 1\n", "has no HELP"},
+		{"bad type",
+			"# HELP fcm_x_total Things.\n# TYPE fcm_x_total widget\nfcm_x_total 1\n", "invalid TYPE"},
+		{"duplicate help",
+			"# HELP fcm_x_total Things.\n# HELP fcm_x_total Things.\n# TYPE fcm_x_total counter\nfcm_x_total 1\n",
+			"duplicate HELP"},
+		{"nan value",
+			"# HELP fcm_x Things.\n# TYPE fcm_x gauge\nfcm_x NaN\n", "non-finite"},
+		{"inf value",
+			"# HELP fcm_x Things.\n# TYPE fcm_x gauge\nfcm_x +Inf\n", "non-finite"},
+		{"garbage value",
+			"# HELP fcm_x Things.\n# TYPE fcm_x gauge\nfcm_x banana\n", "unparseable value"},
+		{"malformed labels",
+			"# HELP fcm_x Things.\n# TYPE fcm_x gauge\nfcm_x{level=0} 1\n", "malformed label set"},
+		{"no value",
+			"# HELP fcm_x Things.\n# TYPE fcm_x gauge\nfcm_x\n", "no value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := LintExposition([]byte(tc.in))
+			if len(errs) == 0 {
+				t.Fatalf("lint accepted %q", tc.in)
+			}
+			found := false
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.wantErr) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("errors %v do not mention %q", errs, tc.wantErr)
+			}
+		})
+	}
+	if errs := LintExposition([]byte(
+		"# HELP fcm_l_seconds Latency.\n# TYPE fcm_l_seconds histogram\n" +
+			"fcm_l_seconds_bucket{le=\"0.01\"} 1\nfcm_l_seconds_bucket{le=\"+Inf\"} 2\n" +
+			"fcm_l_seconds_sum 1.5\nfcm_l_seconds_count 2\n")); len(errs) != 0 {
+		t.Fatalf("lint rejected a well-formed histogram: %v", errs)
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: registration did not panic", name)
+			}
+		}()
+		f()
+	}
+	reg := NewRegistry()
+	mustPanic("empty help", func() { reg.CounterFunc("fcm_bad_total", "", func() float64 { return 0 }) })
+	mustPanic("bad labels", func() {
+		reg.GaugeFuncL("fcm_bad_gauge", `level=0`, "Unquoted label value.", func() float64 { return 0 })
+	})
+}

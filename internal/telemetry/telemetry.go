@@ -221,7 +221,13 @@ func NewRegistry() *Registry {
 	return &Registry{byName: map[string]*family{}}
 }
 
-var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var (
+	nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	// labelsRe matches the preformatted label-set strings the *L
+	// registrars take: comma-separated name="value" pairs, values free of
+	// unescaped quotes/backslashes/newlines.
+	labelsRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*$`)
+)
 
 // register adds a sample to the named family, creating the family on first
 // use. Re-registering a name with a different type, or duplicating an
@@ -229,6 +235,14 @@ var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 func (r *Registry) register(name, labels, help, mtype string, value func() float64, hist *Histogram) {
 	if !nameRe.MatchString(name) {
 		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	if help == "" {
+		// Every family must carry help text: the exposition writer emits
+		// `# HELP` unconditionally and scrapers (and Lint) rely on it.
+		panic(fmt.Sprintf("telemetry: %s registered without help text", name))
+	}
+	if labels != "" && !labelsRe.MatchString(labels) {
+		panic(fmt.Sprintf("telemetry: %s has malformed label set %q", name, labels))
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,0 +1,199 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ExportedSpan is the wire form of one span: IDs in hex, times explicit,
+// attrs flattened to a map.
+type ExportedSpan struct {
+	ID       string            `json:"id"`
+	Parent   string            `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration float64           `json:"duration_seconds"`
+	Err      string            `json:"err,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// ExportedTrace is the wire form of one retained trace.
+type ExportedTrace struct {
+	TraceID  string         `json:"trace_id"`
+	Name     string         `json:"name"`
+	Start    time.Time      `json:"start"`
+	Duration float64        `json:"duration_seconds"`
+	Errored  bool           `json:"errored"`
+	Retained []string       `json:"retained"` // which rings hold it: recent, slowest, errored
+	Spans    []ExportedSpan `json:"spans"`
+}
+
+// Export is the /debug/traces payload.
+type Export struct {
+	Started  uint64          `json:"traces_started"`
+	Finished uint64          `json:"traces_finished"`
+	Errored  uint64          `json:"traces_errored"`
+	Traces   []ExportedTrace `json:"traces"`
+}
+
+// Traces snapshots every retained trace, deduplicated across the rings and
+// sorted slowest first (the triage order: the outliers are why you are
+// looking). Returns nil on a nil recorder.
+func (r *Recorder) Traces() []ExportedTrace {
+	if r == nil {
+		return nil
+	}
+	return r.export()
+}
+
+func (r *Recorder) export() []ExportedTrace {
+	r.mu.Lock()
+	classes := map[*Trace][]string{}
+	order := []*Trace{}
+	note := func(t *Trace, class string) {
+		if _, seen := classes[t]; !seen {
+			order = append(order, t)
+		}
+		classes[t] = append(classes[t], class)
+	}
+	for _, t := range r.recent.all() {
+		note(t, "recent")
+	}
+	for _, t := range r.slowest {
+		note(t, "slowest")
+	}
+	for _, t := range r.errs.all() {
+		note(t, "errored")
+	}
+	r.mu.Unlock()
+
+	out := make([]ExportedTrace, 0, len(order))
+	for _, t := range order {
+		out = append(out, t.exportLocked(classes[t]))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
+}
+
+// exportLocked snapshots one trace under its own lock (attrs may still be
+// appended by stragglers after End).
+func (t *Trace) exportLocked(classes []string) ExportedTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	root := t.spans[0]
+	et := ExportedTrace{
+		TraceID:  fmt.Sprintf("%016x", t.id),
+		Name:     root.Name,
+		Start:    root.Start,
+		Duration: root.Duration.Seconds(),
+		Errored:  t.errs > 0,
+		Retained: classes,
+		Spans:    make([]ExportedSpan, 0, len(t.spans)),
+	}
+	for _, sp := range t.spans {
+		es := ExportedSpan{
+			ID:       fmt.Sprintf("%016x", sp.ID),
+			Name:     sp.Name,
+			Start:    sp.Start,
+			Duration: sp.Duration.Seconds(),
+			Err:      sp.Err,
+		}
+		if sp.Parent != 0 {
+			es.Parent = fmt.Sprintf("%016x", sp.Parent)
+		}
+		if len(sp.Attrs) > 0 {
+			es.Attrs = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				es.Attrs[a.Key] = a.Value
+			}
+		}
+		et.Spans = append(et.Spans, es)
+	}
+	return et
+}
+
+// ServeHTTP serves the flight recorder: JSON by default, an indented
+// human-readable span tree with ?format=text. The recorder is an
+// http.Handler so binaries mount it directly at /debug/traces.
+func (r *Recorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	ex := Export{Traces: []ExportedTrace{}}
+	if r != nil {
+		st := r.Stats()
+		ex.Started, ex.Finished, ex.Errored = st.Started, st.Finished, st.Errored
+		ex.Traces = r.export()
+	}
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteText(w, ex)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(ex) //nolint:errcheck // client went away
+}
+
+// WriteText renders an export the way fcmctl -traces shows it: one header
+// line per trace (slowest first), then its spans indented by tree depth
+// with durations, attrs, and errors inline.
+func WriteText(w io.Writer, ex Export) {
+	fmt.Fprintf(w, "traces: %d started, %d finished, %d errored, %d retained\n\n",
+		ex.Started, ex.Finished, ex.Errored, len(ex.Traces))
+	for _, t := range ex.Traces {
+		status := ""
+		if t.Errored {
+			status = "  ERRORED"
+		}
+		fmt.Fprintf(w, "trace %s %s %s [%s]%s\n",
+			t.TraceID, t.Name, fmtDur(t.Duration), strings.Join(t.Retained, ","), status)
+		depth := spanDepths(t.Spans)
+		for i, sp := range t.Spans {
+			if i == 0 {
+				continue // the root is the header line
+			}
+			line := fmt.Sprintf("%s%s %s", strings.Repeat("  ", depth[sp.ID]), sp.Name, fmtDur(sp.Duration))
+			if len(sp.Attrs) > 0 {
+				keys := make([]string, 0, len(sp.Attrs))
+				for k := range sp.Attrs {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					line += fmt.Sprintf(" %s=%s", k, sp.Attrs[k])
+				}
+			}
+			if sp.Err != "" {
+				line += " ERR: " + sp.Err
+			}
+			fmt.Fprintln(w, line)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// spanDepths computes each span's tree depth (root = 0) for indentation.
+func spanDepths(spans []ExportedSpan) map[string]int {
+	parent := make(map[string]string, len(spans))
+	for _, sp := range spans {
+		parent[sp.ID] = sp.Parent
+	}
+	depth := make(map[string]int, len(spans))
+	for _, sp := range spans {
+		d, id := 0, sp.ID
+		for parent[id] != "" && d < len(spans) {
+			id = parent[id]
+			d++
+		}
+		depth[sp.ID] = d
+	}
+	return depth
+}
+
+func fmtDur(seconds float64) string {
+	return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -1,0 +1,33 @@
+package tracing
+
+import (
+	"github.com/fcmsketch/fcm/internal/telemetry"
+)
+
+// Instrument exports the recorder's own traffic counters so scrapes can
+// tell whether the flight recorder is on, how much it is seeing, and how
+// many traces carried errors — without hitting /debug/traces. Safe on a
+// nil recorder (registers constant-zero series, matching the nil-safe
+// tracing API).
+func (r *Recorder) Instrument(reg *telemetry.Registry) {
+	reg.GaugeFunc("fcm_tracing_enabled",
+		"1 while the flight recorder is capturing new traces.",
+		func() float64 {
+			if r.Enabled() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("fcm_traces_started_total",
+		"Traces opened by the flight recorder.",
+		func() float64 { return float64(r.Stats().Started) })
+	reg.CounterFunc("fcm_traces_finished_total",
+		"Traces ended and filed into the retention rings.",
+		func() float64 { return float64(r.Stats().Finished) })
+	reg.CounterFunc("fcm_traces_errored_total",
+		"Finished traces carrying at least one failed span.",
+		func() float64 { return float64(r.Stats().Errored) })
+	reg.GaugeFunc("fcm_traces_retained",
+		"Distinct traces currently held across the recent/slowest/errored rings.",
+		func() float64 { return float64(r.Stats().Retained) })
+}

@@ -1,0 +1,400 @@
+// Package tracing is the collection plane's flight recorder: lightweight
+// spans describing one end-to-end operation (a poll window, a served
+// request), retained in fixed-size ring buffers so the most recent, the
+// slowest, and every errored trace stay inspectable after the fact over
+// /debug/traces — the "which poll caused it" view that counters and
+// gauges cannot give.
+//
+// Design constraints, in order:
+//
+//  1. Disabled means free. Every entry point is nil-safe: a nil *Recorder
+//     starts a nil *Trace, a nil *Trace starts nil *Spans, and every
+//     method on a nil receiver is a no-op that allocates nothing. Code is
+//     instrumented unconditionally and pays one pointer check per span
+//     site when tracing is off.
+//  2. Recording is cheap and bounded. Span starts touch only the owning
+//     trace's mutex (uncontended: one goroutine drives one trace); the
+//     recorder's lock is taken once per finished trace, never per span.
+//     Retention is three fixed-size rings — memory is bounded no matter
+//     how long the process runs.
+//  3. No dependencies. Trace IDs are process-unique counters scrambled
+//     through SplitMix64; correlation with logs goes through slog attrs,
+//     not a wire protocol.
+package tracing
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are preformatted
+// strings: spans describe control-plane operations (addresses, fallback
+// reasons, byte counts), not high-rate data.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed section of a trace. Spans form a tree through Parent
+// span IDs; the root span carries the trace's name.
+type Span struct {
+	ID       uint64
+	Parent   uint64 // 0 for the root span
+	Name     string
+	Start    time.Time
+	Duration time.Duration // 0 until End
+	Err      string        // non-empty once Fail was called
+	Attrs    []Attr
+
+	t    *Trace
+	done bool
+}
+
+// Trace is one in-flight operation: a root span plus any children started
+// from it. A trace is driven by one goroutine at a time in the common
+// case, but span starts and finishes are mutex-guarded so handoffs
+// (callbacks, watchdogs) are safe.
+type Trace struct {
+	rec  *Recorder
+	id   uint64
+	root *Span // == spans[0]; immutable after StartTrace, readable unlocked
+
+	mu    sync.Mutex
+	spans []*Span // spans[0] is the root
+	errs  int
+	ended bool
+}
+
+// splitmix64 scrambles a sequence counter into a well-mixed 64-bit ID.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// StartTrace opens a trace whose root span is named name. On a nil or
+// disabled recorder it returns nil, and every operation on the nil trace
+// is a free no-op.
+func (r *Recorder) StartTrace(name string) *Trace {
+	if r == nil || !r.enabled.Load() {
+		return nil
+	}
+	r.started.Add(1)
+	t := &Trace{rec: r, id: splitmix64(r.seq.Add(1))}
+	t.root = &Span{
+		ID:    splitmix64(r.seq.Add(1)),
+		Name:  name,
+		Start: time.Now(),
+		t:     t,
+	}
+	t.spans = append(t.spans, t.root)
+	return t
+}
+
+// TraceID returns the trace's correlation ID as 16 hex digits, or "" on a
+// nil trace.
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return fmt.Sprintf("%016x", t.id)
+}
+
+// Root returns the trace's root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// StartSpan opens a child of the root span. Most instrumentation sites use
+// this: the collection loop's phases are flat under one poll trace.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.startSpan(name, t.root.ID)
+}
+
+// StartChild opens a child of this span (sub-phases, e.g. one retry
+// attempt inside a read).
+func (sp *Span) StartChild(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.t.startSpan(name, sp.ID)
+}
+
+func (t *Trace) startSpan(name string, parent uint64) *Span {
+	sp := &Span{
+		ID:     splitmix64(t.rec.seq.Add(1)),
+		Parent: parent,
+		Name:   name,
+		Start:  time.Now(),
+		t:      t,
+	}
+	t.mu.Lock()
+	if !t.ended {
+		t.spans = append(t.spans, sp)
+	}
+	t.mu.Unlock()
+	return sp
+}
+
+// Annotate attaches one key/value attribute to the span.
+func (sp *Span) Annotate(key, value string) {
+	if sp == nil {
+		return
+	}
+	sp.t.mu.Lock()
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Value: value})
+	sp.t.mu.Unlock()
+}
+
+// Fail marks the span errored. The trace as a whole is retained in the
+// errored ring if any span failed.
+func (sp *Span) Fail(err error) {
+	if sp == nil || err == nil {
+		return
+	}
+	sp.t.mu.Lock()
+	if sp.Err == "" {
+		sp.t.errs++
+	}
+	sp.Err = err.Error()
+	sp.t.mu.Unlock()
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the first
+// duration.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.t.mu.Lock()
+	if !sp.done {
+		sp.done = true
+		sp.Duration = time.Since(sp.Start)
+	}
+	sp.t.mu.Unlock()
+}
+
+// End closes the trace: the root span and any still-open children are
+// ended, and the trace is handed to the recorder's retention rings. A
+// trace must be ended exactly once; later span operations are dropped.
+func (t *Trace) End() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.ended {
+		t.mu.Unlock()
+		return
+	}
+	t.ended = true
+	for _, sp := range t.spans {
+		if !sp.done {
+			sp.done = true
+			sp.Duration = time.Since(sp.Start)
+		}
+	}
+	t.mu.Unlock()
+	t.rec.record(t)
+}
+
+// LogWith returns l with the trace's correlation ID attached, so every
+// record a traced operation emits carries trace_id=… and `fcmctl -traces`
+// output joins against the logs. A nil trace returns l unchanged.
+func (t *Trace) LogWith(l *slog.Logger) *slog.Logger {
+	if t == nil || l == nil {
+		return l
+	}
+	return l.With("trace_id", t.TraceID())
+}
+
+// ---------------------------------------------------------------------------
+// Context plumbing
+// ---------------------------------------------------------------------------
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the trace. A nil trace returns ctx
+// unchanged, so the disabled path allocates no derived context.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. All span
+// operations on the nil result are free no-ops, so callees instrument
+// unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Recorder: the flight-recorder retention rings
+// ---------------------------------------------------------------------------
+
+// RecorderConfig sizes the retention rings. Zero fields take the defaults.
+type RecorderConfig struct {
+	// Recent is how many most-recent traces are kept regardless of
+	// duration or outcome (default 64).
+	Recent int
+	// Slowest is how many slowest-ever traces are kept (default 16). A
+	// new trace evicts the fastest member once the ring is full, so the
+	// worst outliers survive arbitrarily long runs.
+	Slowest int
+	// Errored is how many most-recent errored traces are kept (default
+	// 32), independently of the recent ring — a burst of healthy polls
+	// cannot flush the evidence of a failure.
+	Errored int
+}
+
+const (
+	defaultRecent  = 64
+	defaultSlowest = 16
+	defaultErrored = 32
+)
+
+// Recorder retains finished traces in three fixed-size rings: most
+// recent, slowest, and errored. The zero value is not usable; a nil
+// *Recorder is the disabled state.
+type Recorder struct {
+	seq     atomic.Uint64
+	enabled atomic.Bool
+
+	started  atomic.Uint64
+	finished atomic.Uint64
+	errored  atomic.Uint64
+
+	mu      sync.Mutex
+	recent  ring
+	slowest []*Trace // unordered; eviction scans for the fastest (small N)
+	errs    ring
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer.
+type ring struct {
+	buf  []*Trace
+	next int
+	n    int
+}
+
+func (rb *ring) push(t *Trace) {
+	if len(rb.buf) == 0 {
+		return
+	}
+	rb.buf[rb.next] = t
+	rb.next = (rb.next + 1) % len(rb.buf)
+	if rb.n < len(rb.buf) {
+		rb.n++
+	}
+}
+
+// all returns the ring's traces, oldest first.
+func (rb *ring) all() []*Trace {
+	out := make([]*Trace, 0, rb.n)
+	start := rb.next - rb.n
+	for i := 0; i < rb.n; i++ {
+		out = append(out, rb.buf[(start+i+len(rb.buf))%len(rb.buf)])
+	}
+	return out
+}
+
+// NewRecorder builds an enabled recorder with the given ring sizes.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	if cfg.Recent <= 0 {
+		cfg.Recent = defaultRecent
+	}
+	if cfg.Slowest <= 0 {
+		cfg.Slowest = defaultSlowest
+	}
+	if cfg.Errored <= 0 {
+		cfg.Errored = defaultErrored
+	}
+	r := &Recorder{
+		recent:  ring{buf: make([]*Trace, cfg.Recent)},
+		slowest: make([]*Trace, 0, cfg.Slowest),
+		errs:    ring{buf: make([]*Trace, cfg.Errored)},
+	}
+	r.enabled.Store(true)
+	return r
+}
+
+// SetEnabled flips recording at runtime. Disabling does not drop retained
+// traces; it stops starting new ones (in-flight traces still record).
+func (r *Recorder) SetEnabled(v bool) {
+	if r != nil {
+		r.enabled.Store(v)
+	}
+}
+
+// Enabled reports whether new traces are being started.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// RecorderStats count the recorder's traffic.
+type RecorderStats struct {
+	// Started and Finished count traces opened and ended.
+	Started, Finished uint64
+	// Errored counts finished traces with at least one failed span.
+	Errored uint64
+	// Retained is how many distinct traces the rings currently hold.
+	Retained int
+}
+
+// Stats returns the recorder's counters.
+func (r *Recorder) Stats() RecorderStats {
+	if r == nil {
+		return RecorderStats{}
+	}
+	return RecorderStats{
+		Started:  r.started.Load(),
+		Finished: r.finished.Load(),
+		Errored:  r.errored.Load(),
+		Retained: len(r.export()),
+	}
+}
+
+// record files a finished trace into the retention rings.
+func (r *Recorder) record(t *Trace) {
+	r.finished.Add(1)
+	t.mu.Lock()
+	errs := t.errs
+	dur := t.spans[0].Duration
+	t.mu.Unlock()
+	if errs > 0 {
+		r.errored.Add(1)
+	}
+	r.mu.Lock()
+	r.recent.push(t)
+	if errs > 0 {
+		r.errs.push(t)
+	}
+	if len(r.slowest) < cap(r.slowest) {
+		r.slowest = append(r.slowest, t)
+	} else if len(r.slowest) > 0 {
+		fastest, fdur := 0, time.Duration(-1)
+		for i, st := range r.slowest {
+			if fdur < 0 || st.spans[0].Duration < fdur {
+				fastest, fdur = i, st.spans[0].Duration
+			}
+		}
+		if dur > fdur {
+			r.slowest[fastest] = t
+		}
+	}
+	r.mu.Unlock()
+}

@@ -1,0 +1,266 @@
+package tracing
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDisabledTracingAllocatesNothing pins the flight recorder's core
+// contract: with no recorder (nil), a fully instrumented code path — trace
+// start, context plumbing, spans, attrs, failure marks, end — performs
+// zero allocations.
+func TestDisabledTracingAllocatesNothing(t *testing.T) {
+	var rec *Recorder
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := rec.StartTrace("poll")
+		cctx := NewContext(ctx, tr)
+		got := FromContext(cctx)
+		sp := got.StartSpan("collect")
+		sp.Annotate("addr", "127.0.0.1:9401")
+		child := sp.StartChild("attempt")
+		child.Fail(errNope)
+		child.End()
+		sp.End()
+		tr.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %v per op, want 0", allocs)
+	}
+}
+
+var errNope = errors.New("nope")
+
+// TestDisabledRecorderStartsNothing: SetEnabled(false) on a live recorder
+// stops new traces without dropping retained ones.
+func TestDisabledRecorderStartsNothing(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{})
+	tr := rec.StartTrace("a")
+	tr.End()
+	rec.SetEnabled(false)
+	if tr := rec.StartTrace("b"); tr != nil {
+		t.Fatal("disabled recorder started a trace")
+	}
+	if got := len(rec.Traces()); got != 1 {
+		t.Fatalf("retained %d traces after disable, want 1", got)
+	}
+	rec.SetEnabled(true)
+	if tr := rec.StartTrace("c"); tr == nil {
+		t.Fatal("re-enabled recorder refused a trace")
+	}
+}
+
+// TestSpanTreeAndAttrs exercises the span tree, attributes, errors, and
+// export shape of one trace.
+func TestSpanTreeAndAttrs(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{})
+	tr := rec.StartTrace("poll")
+	if tr.TraceID() == "" || len(tr.TraceID()) != 16 {
+		t.Fatalf("trace ID %q, want 16 hex digits", tr.TraceID())
+	}
+	collect := tr.StartSpan("collect")
+	collect.Annotate("addr", "127.0.0.1:9401")
+	att := collect.StartChild("attempt")
+	att.Annotate("attempt", "1")
+	att.Fail(errors.New("connection refused"))
+	att.End()
+	collect.End()
+	tr.End()
+
+	traces := rec.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(traces))
+	}
+	ex := traces[0]
+	if ex.Name != "poll" || !ex.Errored {
+		t.Fatalf("export = %+v, want name poll, errored", ex)
+	}
+	if len(ex.Spans) != 3 {
+		t.Fatalf("exported %d spans, want 3", len(ex.Spans))
+	}
+	root, col, at := ex.Spans[0], ex.Spans[1], ex.Spans[2]
+	if root.Parent != "" {
+		t.Fatalf("root has parent %q", root.Parent)
+	}
+	if col.Parent != root.ID {
+		t.Fatalf("collect parent %q, want root %q", col.Parent, root.ID)
+	}
+	if at.Parent != col.ID {
+		t.Fatalf("attempt parent %q, want collect %q", at.Parent, col.ID)
+	}
+	if at.Err != "connection refused" {
+		t.Fatalf("attempt err %q", at.Err)
+	}
+	if col.Attrs["addr"] != "127.0.0.1:9401" {
+		t.Fatalf("collect attrs %v", col.Attrs)
+	}
+	wantRetained := []string{"recent", "slowest", "errored"}
+	if fmt.Sprint(ex.Retained) != fmt.Sprint(wantRetained) {
+		t.Fatalf("retained classes %v, want %v", ex.Retained, wantRetained)
+	}
+}
+
+// TestRetentionPolicy drives more traces than the rings hold and checks
+// each ring's invariant: recent keeps the newest R, errored traces survive
+// a flood of healthy ones, and the slowest trace survives eviction from
+// both.
+func TestRetentionPolicy(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Recent: 4, Slowest: 2, Errored: 2})
+
+	// One errored trace and one artificially slow trace, early on.
+	etr := rec.StartTrace("errored-poll")
+	etr.Root().Fail(errors.New("boom"))
+	etr.End()
+	slow := rec.StartTrace("slow-poll")
+	slow.Root().Start = slow.Root().Start.Add(-time.Hour) // fake a 1h duration
+	slow.End()
+
+	// Flood with fast healthy traces: far more than Recent.
+	for i := 0; i < 20; i++ {
+		rec.StartTrace(fmt.Sprintf("fast-%d", i)).End()
+	}
+
+	byName := map[string]ExportedTrace{}
+	for _, ex := range rec.Traces() {
+		byName[ex.Name] = ex
+	}
+	if _, ok := byName["errored-poll"]; !ok {
+		t.Fatal("errored trace evicted by healthy flood")
+	}
+	if got := byName["slow-poll"]; !has(got.Retained, "slowest") {
+		t.Fatalf("slow trace not retained as slowest: %+v", got.Retained)
+	}
+	if _, ok := byName["fast-19"]; !ok {
+		t.Fatal("most recent trace missing from recent ring")
+	}
+	if _, ok := byName["fast-3"]; ok {
+		t.Fatal("ancient fast trace still retained (recent ring did not evict)")
+	}
+	// Slowest-first ordering: the hour-long trace leads.
+	if traces := rec.Traces(); traces[0].Name != "slow-poll" {
+		t.Fatalf("export not slowest-first: %q leads", traces[0].Name)
+	}
+	st := rec.Stats()
+	if st.Started != 22 || st.Finished != 22 || st.Errored != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func has(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSlogCorrelation: LogWith stamps records with the trace ID.
+func TestSlogCorrelation(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{})
+	tr := rec.StartTrace("poll")
+	defer tr.End()
+	var buf bytes.Buffer
+	log := tr.LogWith(slog.New(slog.NewTextHandler(&buf, nil)))
+	log.Info("collection failed")
+	if !strings.Contains(buf.String(), "trace_id="+tr.TraceID()) {
+		t.Fatalf("log record missing trace_id: %s", buf.String())
+	}
+	// Nil trace: logger passes through unchanged.
+	var nilTr *Trace
+	if got := nilTr.LogWith(log); got != log {
+		t.Fatal("nil trace did not pass the logger through")
+	}
+}
+
+// TestHandlerJSONAndText scrapes the recorder over HTTP in both formats.
+func TestHandlerJSONAndText(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{})
+	tr := rec.StartTrace("poll")
+	sp := tr.StartSpan("collect")
+	sp.Annotate("addr", "x")
+	sp.End()
+	tr.End()
+
+	srv := httptest.NewServer(rec)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var ex Export
+	if err := json.NewDecoder(resp.Body).Decode(&ex); err != nil {
+		t.Fatalf("JSON export did not parse: %v", err)
+	}
+	if len(ex.Traces) != 1 || ex.Traces[0].Name != "poll" {
+		t.Fatalf("export = %+v", ex)
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp2.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"trace " + tr.TraceID(), "collect", "addr=x"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text export missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestEndedTraceDropsLateSpans: spans started after End are not retained
+// (the trace is immutable once filed).
+func TestEndedTraceDropsLateSpans(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{})
+	tr := rec.StartTrace("poll")
+	tr.End()
+	tr.StartSpan("late").End()
+	tr.End() // double-End is a no-op
+	if got := rec.Traces(); len(got) != 1 || len(got[0].Spans) != 1 {
+		t.Fatalf("late span retained: %+v", got)
+	}
+	if st := rec.Stats(); st.Finished != 1 {
+		t.Fatalf("double End counted twice: %+v", st)
+	}
+}
+
+// TestConcurrentSpans: spans from several goroutines on one trace are all
+// retained without racing (run under -race in ci).
+func TestConcurrentSpans(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{})
+	tr := rec.StartTrace("poll")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			sp := tr.StartSpan(fmt.Sprintf("worker-%d", i))
+			sp.Annotate("i", fmt.Sprint(i))
+			sp.End()
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	tr.End()
+	if got := len(rec.Traces()[0].Spans); got != 9 {
+		t.Fatalf("retained %d spans, want 9", got)
+	}
+}
