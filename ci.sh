@@ -30,6 +30,24 @@ go test -count=1 -run 'Allocs' \
 go test -run 'NOMATCH' -bench 'IngestFCM|UpdateBatchFCM|ReplayTraceFCM' \
   -benchtime 1x .
 
+# Fold-path gate, part 1: the word-wide (SWAR) merge plane must stay
+# bit-identical to the exported scalar reference walk — the merge/diff
+# suites (geometry sweep, cross-layout seam, equality prescreen) run under
+# -race and uncached, alongside the difftest SWAR-vs-scalar invariant via
+# the battery below.
+go test -race -count=1 \
+  -run 'MergeMatchesScalar|FirstRegisterDiffPrescreen|Merge' \
+  ./internal/core/
+# Fold-path gate, part 2: the zero-allocation contracts of the fold plane,
+# uncached — Merge's carry scratch, the serve path's snapshot+encode
+# scratch, and the append-style frame encoders.
+go test -count=1 -run 'TestMergeAllocs|TestServeEncodeAllocs|TestDeltaAppendEncodeMatchesEncode' \
+  ./internal/core/ ./internal/collect/
+# Fold-path gate, part 3: bench smoke — one iteration of the fold
+# benchmarks so the numbers in BENCH_foldpath.json stay regenerable.
+go test -run 'NOMATCH' -bench 'MergePair|EqualRegisters' -benchtime 1x ./internal/core/
+go test -run 'NOMATCH' -bench 'AbsorbFleet|DiffSnapshots|StateCRC' -benchtime 1x ./internal/collect/
+
 # Lane-layout gate: the compact typed counter slabs (uint8/uint16/uint32
 # lanes) must stay register-exact against the 32-bit widening shim on every
 # path, under -race and uncached. Covers the in-package lane suite

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"slices"
 
 	"github.com/fcmsketch/fcm/internal/core"
 	"github.com/fcmsketch/fcm/internal/hashing"
@@ -43,21 +44,41 @@ type Snapshot struct {
 
 // TakeSnapshot copies the registers out of a sketch.
 func TakeSnapshot(s *core.Sketch) *Snapshot {
-	snap := &Snapshot{
-		K:      s.K(),
-		Trees:  s.NumTrees(),
-		W1:     s.LeafWidth(),
-		Widths: s.Widths(),
+	return TakeSnapshotInto(nil, s)
+}
+
+// TakeSnapshotInto copies the registers out of a sketch into snap, reusing
+// snap's geometry slices and per-stage value buffers when they have the
+// capacity — the alloc-free variant for per-poll serve paths. Pass nil to
+// build a fresh snapshot. The returned snapshot owns its values (nothing
+// aliases sketch state) but shares buffers with snap, so callers that
+// retain snapshots across polls must not pass the retained one back in.
+func TakeSnapshotInto(snap *Snapshot, s *core.Sketch) *Snapshot {
+	if snap == nil {
+		snap = &Snapshot{}
 	}
+	snap.K = s.K()
+	snap.Trees = s.NumTrees()
+	snap.W1 = s.LeafWidth()
+	depth := s.Depth()
+	snap.Widths = snap.Widths[:0]
+	for l := 0; l < depth; l++ {
+		snap.Widths = append(snap.Widths, s.StageWidth(l))
+	}
+	if cap(snap.Values) < snap.Trees {
+		snap.Values = make([][][]uint32, snap.Trees)
+	}
+	snap.Values = snap.Values[:snap.Trees]
 	for t := 0; t < snap.Trees; t++ {
-		var stages [][]uint32
-		for l := 0; l < len(snap.Widths); l++ {
-			src := s.StageValues(t, l)
-			dst := make([]uint32, len(src))
-			copy(dst, src)
-			stages = append(stages, dst)
+		stages := snap.Values[t]
+		if cap(stages) < depth {
+			stages = make([][]uint32, depth)
 		}
-		snap.Values = append(snap.Values, stages)
+		stages = stages[:depth]
+		for l := 0; l < depth; l++ {
+			stages[l] = s.StageValuesInto(stages[l], t, l)
+		}
+		snap.Values[t] = stages
 	}
 	return snap
 }
@@ -106,36 +127,46 @@ func (s *Snapshot) VirtualCounters() ([][]core.VirtualCounter, error) {
 //	trees × stages × (u32 count, count × u32 value),
 //	u32 crc32c over everything above
 func (s *Snapshot) Encode() ([]byte, error) {
+	return s.AppendEncode(nil)
+}
+
+// AppendEncode serializes the snapshot (see Encode for the layout),
+// appending to dst and returning the extended slice. The bytes produced
+// are identical to Encode's; only the destination differs, letting serve
+// paths reuse one response buffer across polls.
+func (s *Snapshot) AppendEncode(dst []byte) ([]byte, error) {
 	if s.Trees <= 0 || s.Trees > 255 || len(s.Widths) == 0 || len(s.Widths) > 255 {
 		return nil, fmt.Errorf("collect: snapshot geometry out of range: trees=%d stages=%d",
 			s.Trees, len(s.Widths))
 	}
-	var buf bytes.Buffer
-	w := func(v any) { binary.Write(&buf, binary.BigEndian, v) } //nolint:errcheck // bytes.Buffer cannot fail
-	w(uint32(snapshotMagic))
-	w(uint8(snapshotVersion))
-	w(uint8(s.Trees))
-	w(uint8(len(s.Widths)))
-	w(uint8(0))
-	w(uint32(s.K))
-	w(uint32(s.W1))
-	for _, b := range s.Widths {
-		w(uint8(b))
-	}
+	need := 17 + len(s.Widths)
 	for t := 0; t < s.Trees; t++ {
 		if len(s.Values[t]) != len(s.Widths) {
 			return nil, fmt.Errorf("collect: tree %d has %d stages, want %d",
 				t, len(s.Values[t]), len(s.Widths))
 		}
 		for _, vals := range s.Values[t] {
-			w(uint32(len(vals)))
+			need += 4 + 4*len(vals)
+		}
+	}
+	start := len(dst)
+	dst = slices.Grow(dst, need)
+	dst = binary.BigEndian.AppendUint32(dst, snapshotMagic)
+	dst = append(dst, snapshotVersion, uint8(s.Trees), uint8(len(s.Widths)), 0)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(s.K))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(s.W1))
+	for _, b := range s.Widths {
+		dst = append(dst, uint8(b))
+	}
+	for t := 0; t < s.Trees; t++ {
+		for _, vals := range s.Values[t] {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(vals)))
 			for _, v := range vals {
-				w(v)
+				dst = binary.BigEndian.AppendUint32(dst, v)
 			}
 		}
 	}
-	w(crc32.Checksum(buf.Bytes(), castagnoli))
-	return buf.Bytes(), nil
+	return binary.BigEndian.AppendUint32(dst, crc32.Checksum(dst[start:], castagnoli)), nil
 }
 
 // DecodeSnapshot parses an encoded snapshot, verifying the CRC-32C

@@ -25,6 +25,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"slices"
+	"sync"
+
+	"github.com/fcmsketch/fcm/internal/sketch"
 )
 
 // v3 codec constants.
@@ -122,31 +126,47 @@ func (s *Snapshot) SameGeometry(o *Snapshot) bool {
 // big-endian. A delta frame pins the post-apply state with this value, so
 // applying a delta to the wrong baseline cannot go unnoticed.
 func (s *Snapshot) StateCRC() uint32 {
-	var hdr [13]byte
-	binary.BigEndian.PutUint32(hdr[0:], uint32(s.K))
-	binary.BigEndian.PutUint32(hdr[4:], uint32(s.Trees))
-	binary.BigEndian.PutUint32(hdr[8:], uint32(s.W1))
-	hdr[12] = uint8(len(s.Widths))
-	crc := crc32.Update(0, castagnoli, hdr[:])
-	wb := make([]byte, len(s.Widths))
-	for i, w := range s.Widths {
-		wb[i] = uint8(w)
+	// One pooled buffer carries the header, the width bytes, and then the
+	// values a fixed chunk at a time: the byte stream hashed is identical
+	// to appending one field at a time, without per-value bookkeeping or
+	// per-call allocation (crc32.Update's escape analysis would otherwise
+	// heap-allocate every buffer handed to it).
+	bufp := crcChunkPool.Get().(*[4096]byte)
+	defer crcChunkPool.Put(bufp)
+	buf := bufp[:]
+	binary.BigEndian.PutUint32(buf[0:], uint32(s.K))
+	binary.BigEndian.PutUint32(buf[4:], uint32(s.Trees))
+	binary.BigEndian.PutUint32(buf[8:], uint32(s.W1))
+	buf[12] = uint8(len(s.Widths))
+	n := 13
+	for _, w := range s.Widths {
+		buf[n] = uint8(w)
+		n++
 	}
-	crc = crc32.Update(crc, castagnoli, wb)
-	buf := make([]byte, 0, 4096)
+	crc := crc32.Update(0, castagnoli, buf[:n])
 	for t := range s.Values {
 		for l := range s.Values[t] {
-			for _, v := range s.Values[t][l] {
-				buf = binary.BigEndian.AppendUint32(buf, v)
-				if len(buf) == cap(buf) {
-					crc = crc32.Update(crc, castagnoli, buf)
-					buf = buf[:0]
+			vals := s.Values[t][l]
+			for len(vals) > 0 {
+				n := len(vals)
+				if n > len(buf)/4 {
+					n = len(buf) / 4
 				}
+				for i, v := range vals[:n] {
+					binary.BigEndian.PutUint32(buf[4*i:], v)
+				}
+				crc = crc32.Update(crc, castagnoli, buf[:4*n])
+				vals = vals[n:]
 			}
 		}
 	}
-	return crc32.Update(crc, castagnoli, buf)
+	return crc
 }
+
+// crcChunkPool feeds StateCRC's packing buffer; StateCRC runs per poll on
+// every served connection concurrently, so the scratch is pooled rather
+// than global. Widths caps at 255 stages, so header+widths fit the chunk.
+var crcChunkPool = sync.Pool{New: func() any { return new([4096]byte) }}
 
 // DiffSnapshots computes the registers of cur that differ from base, as
 // per-stage delta blocks in tree/stage/index order. ok is false when the
@@ -158,11 +178,27 @@ func DiffSnapshots(base, cur *Snapshot) (blocks []DeltaBlock, ok bool) {
 	for t := range cur.Values {
 		for l := range cur.Values[t] {
 			bv, cv := base.Values[t][l], cur.Values[t][l]
+			// Prescreen 16-value (64-byte) runs with a word-wide memory
+			// compare over the slices' raw bytes; only runs that differ are
+			// walked per register. Between polls most registers are
+			// unchanged, so diff cost becomes proportional to the changed
+			// blocks rather than the sketch size.
+			bb, cb := sketch.BytesU32(bv), sketch.BytesU32(cv)
 			var idx, val []uint32
-			for i := range cv {
-				if cv[i] != bv[i] {
-					idx = append(idx, uint32(i))
-					val = append(val, cv[i])
+			const run = 16
+			for lo := 0; lo < len(cv); lo += run {
+				end := lo + run
+				if end > len(cv) {
+					end = len(cv)
+				}
+				if bytes.Equal(bb[4*lo:4*end], cb[4*lo:4*end]) {
+					continue
+				}
+				for i := lo; i < end; i++ {
+					if cv[i] != bv[i] {
+						idx = append(idx, uint32(i))
+						val = append(val, cv[i])
+					}
 				}
 			}
 			if len(idx) > 0 {
@@ -232,22 +268,40 @@ func (s *Snapshot) encodedSizeV2() int {
 //	block u8 tree, u8 stage, u16 pad, u32 count, count × (u32 idx, u32 val)),
 //	u32 crc32c over everything above
 func (f *DeltaFrame) Encode() ([]byte, error) {
-	var body []byte
+	return f.AppendEncode(nil)
+}
+
+// AppendEncode serializes the frame (see Encode for the layout), appending
+// to dst and returning the extended slice. The bytes produced are
+// identical to Encode's: the body is appended in place and the header's
+// bodyLen patched afterwards, so no intermediate body buffer exists.
+func (f *DeltaFrame) AppendEncode(dst []byte) ([]byte, error) {
 	flags := uint8(0)
 	if f.Full {
 		flags |= deltaFlagFull
 		if f.Snap == nil {
 			return nil, fmt.Errorf("collect: full delta frame without snapshot")
 		}
+		dst = slices.Grow(dst, deltaHeaderLen+f.Snap.encodedSizeV2()+deltaTrailerLen)
+	} else {
+		dst = slices.Grow(dst, deltaBlocksEncodedSize(f.Blocks))
+	}
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, deltaMagic)
+	dst = append(dst, deltaVersion, flags, 0, 0)
+	dst = binary.BigEndian.AppendUint64(dst, f.BaseGen)
+	dst = binary.BigEndian.AppendUint64(dst, f.NewGen)
+	dst = binary.BigEndian.AppendUint32(dst, f.StateCRC)
+	dst = binary.BigEndian.AppendUint32(dst, 0) // bodyLen, patched below
+	bodyStart := len(dst)
+	if f.Full {
 		var err error
-		body, err = f.Snap.Encode()
+		dst, err = f.Snap.AppendEncode(dst)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		var buf bytes.Buffer
-		w := func(v any) { binary.Write(&buf, binary.BigEndian, v) } //nolint:errcheck // bytes.Buffer cannot fail
-		w(uint32(len(f.Blocks)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Blocks)))
 		for _, b := range f.Blocks {
 			if b.Tree < 0 || b.Tree > 255 || b.Stage < 0 || b.Stage > 255 {
 				return nil, fmt.Errorf("collect: delta block tree/stage out of range: %d/%d", b.Tree, b.Stage)
@@ -255,26 +309,16 @@ func (f *DeltaFrame) Encode() ([]byte, error) {
 			if len(b.Indexes) != len(b.Values) {
 				return nil, fmt.Errorf("collect: delta block has %d indexes, %d values", len(b.Indexes), len(b.Values))
 			}
-			w(uint8(b.Tree))
-			w(uint8(b.Stage))
-			w(uint16(0))
-			w(uint32(len(b.Indexes)))
+			dst = append(dst, uint8(b.Tree), uint8(b.Stage), 0, 0)
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(b.Indexes)))
 			for i := range b.Indexes {
-				w(b.Indexes[i])
-				w(b.Values[i])
+				dst = binary.BigEndian.AppendUint32(dst, b.Indexes[i])
+				dst = binary.BigEndian.AppendUint32(dst, b.Values[i])
 			}
 		}
-		body = buf.Bytes()
 	}
-	out := make([]byte, 0, deltaHeaderLen+len(body)+deltaTrailerLen)
-	out = binary.BigEndian.AppendUint32(out, deltaMagic)
-	out = append(out, deltaVersion, flags, 0, 0)
-	out = binary.BigEndian.AppendUint64(out, f.BaseGen)
-	out = binary.BigEndian.AppendUint64(out, f.NewGen)
-	out = binary.BigEndian.AppendUint32(out, f.StateCRC)
-	out = binary.BigEndian.AppendUint32(out, uint32(len(body)))
-	out = append(out, body...)
-	return binary.BigEndian.AppendUint32(out, crc32.Checksum(out, castagnoli)), nil
+	binary.BigEndian.PutUint32(dst[start+28:], uint32(len(dst)-bodyStart))
+	return binary.BigEndian.AppendUint32(dst, crc32.Checksum(dst[start:], castagnoli)), nil
 }
 
 // DecodeDeltaFrame parses an encoded v3 frame, verifying the frame CRC

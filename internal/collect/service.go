@@ -402,8 +402,20 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connScratch is the per-connection reuse arena for the serve path: the
+// transient snapshot OpReadSketch widens registers into and the response
+// buffer every handler encodes into. Both live for the connection, so a
+// steady poller costs no encode-side allocations after its first request.
+// The delta handler must NOT reuse the snapshot — sessions retain their
+// snapshots as baselines across polls.
+type connScratch struct {
+	snap *Snapshot
+	resp []byte
+}
+
 // serve handles one connection until EOF, error, or deadline.
 func (s *Server) serve(conn net.Conn) {
+	var scr connScratch
 	for {
 		req, err := readFrameServer(conn, s.cfg.IdleTimeout, s.cfg.ReadTimeout)
 		if err != nil {
@@ -417,7 +429,7 @@ func (s *Server) serve(conn net.Conn) {
 		case OpReadSketch:
 			tr := s.cfg.Tracer.StartTrace("serve.read_sketch")
 			tr.Root().Annotate("peer", conn.RemoteAddr().String())
-			err := s.serveReadSketch(conn, tr)
+			err := s.serveReadSketch(conn, tr, &scr)
 			if err != nil {
 				tr.Root().Fail(err)
 			}
@@ -428,7 +440,7 @@ func (s *Server) serve(conn net.Conn) {
 		case OpReadDelta:
 			tr := s.cfg.Tracer.StartTrace("serve.read_delta")
 			tr.Root().Annotate("peer", conn.RemoteAddr().String())
-			err := s.serveDelta(conn, req, tr)
+			err := s.serveDelta(conn, req, tr, &scr)
 			if err != nil {
 				tr.Root().Fail(err)
 			}
@@ -459,7 +471,7 @@ func (s *Server) serve(conn net.Conn) {
 
 // serveReadSketch handles one OpReadSketch request. A non-nil return
 // means the connection must close.
-func (s *Server) serveReadSketch(conn net.Conn, tr *tracing.Trace) error {
+func (s *Server) serveReadSketch(conn net.Conn, tr *tracing.Trace, scr *connScratch) error {
 	// The source hands over an owned copy; encoding and the network
 	// write below run with no data-plane lock held.
 	ssp := tr.StartSpan("snapshot")
@@ -472,17 +484,23 @@ func (s *Server) serveReadSketch(conn net.Conn, tr *tracing.Trace) error {
 		return fmt.Errorf("collect: source has no sketch yet")
 	}
 	esp := tr.StartSpan("encode")
-	data, err := TakeSnapshot(sk).Encode()
+	// The snapshot is transient (unlike serveDelta's, nothing retains it),
+	// so it and the response buffer reuse the connection scratch.
+	scr.snap = TakeSnapshotInto(scr.snap, sk)
+	scr.resp = append(scr.resp[:0], statusOK)
+	resp, err := scr.snap.AppendEncode(scr.resp)
 	if err != nil {
 		esp.Fail(err)
 		esp.End()
 		s.writeError(conn, err.Error()) //nolint:errcheck // teardown follows
 		return err
 	}
-	esp.Annotate("bytes", fmt.Sprint(len(data)))
+	scr.resp = resp
+	dataLen := len(resp) - 1
+	esp.Annotate("bytes", fmt.Sprint(dataLen))
 	esp.End()
 	wsp := tr.StartSpan("write")
-	err = s.writeFrameDeadline(conn, append([]byte{statusOK}, data...))
+	err = s.writeFrameDeadline(conn, resp)
 	if err != nil {
 		wsp.Fail(err)
 	}
@@ -491,9 +509,9 @@ func (s *Server) serveReadSketch(conn net.Conn, tr *tracing.Trace) error {
 		return err
 	}
 	s.reads.Add(1)
-	s.fullWireBytes.Add(uint64(len(data)))
+	s.fullWireBytes.Add(uint64(dataLen))
 	s.log.Debug("snapshot served",
-		"peer", conn.RemoteAddr().String(), "bytes", len(data))
+		"peer", conn.RemoteAddr().String(), "bytes", dataLen)
 	return nil
 }
 

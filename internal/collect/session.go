@@ -146,7 +146,7 @@ func (s *Server) genSnapshot() (*Snapshot, uint64, bool) {
 // closed — matching the v2 handlers, which close after any error status.
 // tr (nil-safe) records the snapshot, diff, and write phases, and names
 // the fallback reason when the response degraded to a full snapshot.
-func (s *Server) serveDelta(conn net.Conn, req []byte, tr *tracing.Trace) error {
+func (s *Server) serveDelta(conn net.Conn, req []byte, tr *tracing.Trace, scr *connScratch) error {
 	if len(req) != readDeltaReqLen {
 		msg := fmt.Sprintf("delta request of %dB, want %d", len(req), readDeltaReqLen)
 		s.writeError(conn, msg) //nolint:errcheck // connection teardown follows
@@ -223,17 +223,22 @@ func (s *Server) serveDelta(conn net.Conn, req []byte, tr *tracing.Trace) error 
 	sess.mu.Unlock()
 
 	esp := tr.StartSpan("encode")
-	data, err := frame.Encode()
+	// The frame encodes into the connection's reusable response buffer
+	// (the session retains cur itself, but never the encoded bytes).
+	scr.resp = append(scr.resp[:0], statusOK)
+	resp, err := frame.AppendEncode(scr.resp)
 	if err != nil {
 		esp.Fail(err)
 		esp.End()
 		s.writeError(conn, err.Error()) //nolint:errcheck // teardown follows
 		return err
 	}
-	esp.Annotate("bytes", fmt.Sprint(len(data)))
+	scr.resp = resp
+	dataLen := len(resp) - 1
+	esp.Annotate("bytes", fmt.Sprint(dataLen))
 	esp.End()
 	wsp := tr.StartSpan("write")
-	err = s.writeFrameDeadline(conn, append([]byte{statusOK}, data...))
+	err = s.writeFrameDeadline(conn, resp)
 	if err != nil {
 		wsp.Fail(err)
 	}
@@ -243,15 +248,15 @@ func (s *Server) serveDelta(conn net.Conn, req []byte, tr *tracing.Trace) error 
 	}
 	s.deltaReads.Add(1)
 	if frame.Full {
-		s.fullWireBytes.Add(uint64(len(data)))
+		s.fullWireBytes.Add(uint64(dataLen))
 		s.log.Debug("full snapshot served (v3)",
 			"peer", conn.RemoteAddr().String(), "session", sessionID,
-			"reason", fallbackReasons[fallback], "bytes", len(data), "gen", curGen)
+			"reason", fallbackReasons[fallback], "bytes", dataLen, "gen", curGen)
 	} else {
-		s.deltaWireBytes.Add(uint64(len(data)))
+		s.deltaWireBytes.Add(uint64(dataLen))
 		s.log.Debug("delta served",
 			"peer", conn.RemoteAddr().String(), "session", sessionID,
-			"blocks", len(frame.Blocks), "bytes", len(data),
+			"blocks", len(frame.Blocks), "bytes", dataLen,
 			"base_gen", frame.BaseGen, "gen", curGen)
 	}
 	return nil

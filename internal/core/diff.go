@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/fcmsketch/fcm/internal/sketch"
+)
 
 // EqualRegisters reports whether s and o share a geometry and hold
 // bit-identical counter state in every stage of every tree. It is the
@@ -39,6 +44,13 @@ func (s *Sketch) FirstRegisterDiff(o *Sketch) string {
 	}
 	for ti := range s.trees {
 		a, b := s.trees[ti], o.trees[ti]
+		if s.wideLanes == o.wideLanes && equalLanes(a, b) {
+			// Same lane layout and byte-identical slabs: the per-register
+			// walk cannot find a difference, so skip it. memeq compares a
+			// word at a time, which is what makes EqualRegisters cheap
+			// enough for per-poll convergence checks on equal fleets.
+			continue
+		}
 		for l := range a.views {
 			// load widens both sides to uint32, so the comparison is
 			// layout-independent: a compact sketch and the 32-bit widening
@@ -52,4 +64,14 @@ func (s *Sketch) FirstRegisterDiff(o *Sketch) string {
 		}
 	}
 	return ""
+}
+
+// equalLanes reports whether two same-geometry trees hold byte-identical
+// counter slabs. Only valid as an equality prescreen when both sketches
+// share a lane layout (wideLanes agrees): then every register lives at the
+// same offset of the same typed lane on both sides.
+func equalLanes(a, b *tree) bool {
+	return bytes.Equal(a.lane8, b.lane8) &&
+		bytes.Equal(sketch.BytesU16(a.lane16), sketch.BytesU16(b.lane16)) &&
+		bytes.Equal(sketch.BytesU32(a.lane32), sketch.BytesU32(b.lane32))
 }

@@ -273,6 +273,10 @@ type Sketch struct {
 	// hasher evaluation per tree.
 	wide  *hashing.BobWide
 	stats *Stats // nil = uninstrumented
+	// Carry scratch for Merge, lazily sized to stageLen(1) and alternated
+	// by level parity so a stage never reads the buffer it writes. Owned by
+	// the destination sketch; Clone deliberately does not copy it.
+	mergeCarry [2]carryScratch
 }
 
 // New builds an FCM-Sketch from cfg.
@@ -939,6 +943,32 @@ func (s *Sketch) StageValues(t, l int) []uint32 {
 		return tr.lane32[sv.base : sv.base+sv.n : sv.base+sv.n]
 	}
 }
+
+// StageValuesInto widens stage l of tree t into dst and returns it,
+// reusing dst's backing array when it has the capacity — the alloc-free
+// variant of StageValues for per-poll snapshot paths. Unlike StageValues
+// it always copies, so the result never aliases sketch state.
+func (s *Sketch) StageValuesInto(dst []uint32, t, l int) []uint32 {
+	tr := s.trees[t]
+	sv := tr.views[l]
+	if cap(dst) < sv.n {
+		dst = make([]uint32, sv.n)
+	}
+	dst = dst[:sv.n]
+	switch sv.kind {
+	case laneU8:
+		sketch.WidenU8(dst, tr.lane8[sv.base:sv.base+sv.n])
+	case laneU16:
+		sketch.WidenU16(dst, tr.lane16[sv.base:sv.base+sv.n])
+	default:
+		copy(dst, tr.lane32[sv.base:sv.base+sv.n])
+	}
+	return dst
+}
+
+// StageWidth returns the counter bit width of stage l — the per-stage,
+// alloc-free accessor behind Widths.
+func (s *Sketch) StageWidth(l int) int { return s.widths[l] }
 
 // SetStageValues overwrites stage l of tree t, used when reconstructing a
 // sketch from a collected snapshot. The length must match, and every value

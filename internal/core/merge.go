@@ -18,7 +18,48 @@ import "fmt"
 // This makes FCM-Sketch practical for network-wide monitoring: per-switch
 // (or per-shard) sketches collect independently and merge in the control
 // plane.
+//
+// The implementation folds whole 64-bit lane words at a time (see swar.go)
+// and keeps its carry buffers as per-sketch scratch, so a merge performs
+// no allocations after the first call on a destination. MergeScalar is the
+// register-at-a-time reference it must stay bit-identical to.
 func (s *Sketch) Merge(o *Sketch) error {
+	if err := s.compatible(o); err != nil {
+		return err
+	}
+	last := len(s.widths) - 1
+	carryLen := 0
+	if last > 0 {
+		carryLen = s.trees[0].stageLen(1)
+	}
+	for ti := range s.trees {
+		a, b := s.trees[ti], o.trees[ti]
+		// carry=nil at the leaves (no child stage) and whenever the level
+		// below provably promoted nothing, which lets the word loop skip
+		// the per-word carry test entirely.
+		var carry []uint64
+		for l := 0; l <= last; l++ {
+			var next []uint64
+			if l < last {
+				next = s.mergeCarry[l&1].take(carryLen)
+			}
+			if s.mergeStage(a, b, l, carry, next) {
+				s.mergeCarry[l&1].note(a.stageLen(l + 1))
+				carry = next
+			} else {
+				carry = nil
+			}
+		}
+	}
+	return nil
+}
+
+// MergeScalar folds another sketch into s one register at a time — the
+// original walk Merge's word-wide path is differentially tested against.
+// Semantics are identical to Merge; only the traversal (and its per-call
+// carry allocations) differ. Keep this the reference: change it only when
+// the merge semantics themselves change.
+func (s *Sketch) MergeScalar(o *Sketch) error {
 	if err := s.compatible(o); err != nil {
 		return err
 	}

@@ -51,6 +51,16 @@ func sketchOpsSeedPrograms() [][]byte {
 	}
 	burst = append(burst, 0x02, 0x06, 3, 0x03, 0x07, 3, 7, 0x02)
 	progs = append(progs, burst)
+	// Merge/saturation interleaving on the {8,16,32} geometry: side-sketch
+	// merges against registers that bursts keep pushing across the 254 and
+	// 65534 lane boundaries, compared after every phase — the word-wide
+	// merge's mark/carry fallback spans vs the scalar twin.
+	mergeSat := []byte{4, 0x00, 3, 9, 0x04, 3, 15}
+	for i := 0; i < 12; i++ {
+		mergeSat = append(mergeSat, 0x07, 3, 255, 0x04, 3, byte(i), 0x02)
+	}
+	mergeSat = append(mergeSat, 0x06, 3, 0x03, 0x04, 3, 5, 0x07, 3, 9, 0x02)
+	progs = append(progs, mergeSat)
 	return progs
 }
 

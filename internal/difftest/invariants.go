@@ -214,6 +214,59 @@ func CheckMergeAssociative(g Geometry, a, b, c *Workload) error {
 	return requireEqual("right-associated merge", left[0], right[0])
 }
 
+// CheckSWARMergeEqualsScalar asserts the word-wide merge path is
+// bit-identical to the exported scalar reference walk on the workload's
+// halves — and again after a saturation burst has driven overflow markers
+// (and the carry chain) through every stage, so the fallback spans are
+// exercised, not just the all-unmarked fast path.
+func CheckSWARMergeEqualsScalar(g Geometry, w *Workload) error {
+	halves := w.Windows(2)
+	if len(halves) < 2 {
+		halves = []*Workload{w, w}
+	}
+	compare := func(label string, wa, wb *Workload) error {
+		a, err := Serial(g, wa)
+		if err != nil {
+			return err
+		}
+		b, err := Serial(g, wb)
+		if err != nil {
+			return err
+		}
+		sa, err := Serial(g, wa)
+		if err != nil {
+			return err
+		}
+		sb, err := Serial(g, wb)
+		if err != nil {
+			return err
+		}
+		if err := a.Merge(b); err != nil {
+			return fmt.Errorf("%s: merge: %w", label, err)
+		}
+		if err := sa.MergeScalar(sb); err != nil {
+			return fmt.Errorf("%s: scalar merge: %w", label, err)
+		}
+		return requireEqual(label, sa, a)
+	}
+	if err := compare("word merge vs scalar", halves[0], halves[1]); err != nil {
+		return err
+	}
+	if len(w.Keys) == 0 {
+		return nil
+	}
+	// Saturation burst: hammer a handful of keys hard enough to overflow
+	// low stages on both sides, so merged words hold marks and nonzero
+	// carries.
+	burst := &Workload{Keys: append([][]byte{}, halves[0].Keys...)}
+	for i := 0; i < 4 && i < len(w.Keys); i++ {
+		for r := 0; r < 4096; r++ {
+			burst.Keys = append(burst.Keys, w.Keys[i])
+		}
+	}
+	return compare("word merge vs scalar (saturated)", burst, halves[1])
+}
+
 // CheckRotateLinearity asserts window rotation is linear: ingesting the
 // stream in consecutive windows with a Rotate between each, then merging
 // every closed window with the live remainder, is bit-identical to serial
@@ -319,7 +372,8 @@ func CheckOracle(g Geometry, w *Workload, ref *core.Sketch, maxAvgRelErr float64
 
 // CheckAll runs the full differential battery for one (geometry, workload)
 // pair: serial reference, then batch, wide-shim layout, sharded,
-// engine-batcher, PISA, codec and oracle checks. Parameters that need
+// engine-batcher, PISA, codec, rotation, SWAR-vs-scalar merge and oracle
+// checks. Parameters that need
 // variety (batch size, shard count) derive from the trial seed.
 func CheckAll(g Geometry, w *Workload, seed int64) error {
 	ref, err := Serial(g, w)
@@ -348,6 +402,9 @@ func CheckAll(g Geometry, w *Workload, seed int64) error {
 		return err
 	}
 	if err := CheckRotateLinearity(g, w, ref, windows, shards); err != nil {
+		return err
+	}
+	if err := CheckSWARMergeEqualsScalar(g, w); err != nil {
 		return err
 	}
 	return CheckOracle(g, w, ref, -1)

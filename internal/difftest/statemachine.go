@@ -9,15 +9,17 @@ import (
 )
 
 // The sketch-ops state machine interprets an arbitrary byte string as a
-// program over three lockstep implementations — a serial core.Sketch (the
-// compact typed-lane layout), an fcm.Sharded, and a serial sketch built on
-// the 32-bit widening shim — plus an exact oracle. After every mutating op
-// the machine can be asked (by the program itself) to compare the sharded
-// snapshot and the wide-shim sketch against the serial sketch bit-for-bit
-// and to re-validate the oracle's one-sidedness, so any interleaving of
+// program over four lockstep implementations — a serial core.Sketch (the
+// compact typed-lane layout), an fcm.Sharded, a serial sketch built on
+// the 32-bit widening shim, and a scalar-merge twin that routes every
+// merge through MergeScalar instead of the word-wide path — plus an exact
+// oracle. After every mutating op the machine can be asked (by the
+// program itself) to compare the sharded snapshot, the wide-shim sketch
+// and the scalar twin against the serial sketch bit-for-bit and to
+// re-validate the oracle's one-sidedness, so any interleaving of
 // Update/Merge/Rotate/Snapshot/Reset that breaks equivalence — including a
-// compact-lane divergence from the uniform 32-bit layout — is a fuzzing
-// counterexample.
+// compact-lane divergence from the uniform 32-bit layout, or a SWAR merge
+// diverging from the scalar reference — is a fuzzing counterexample.
 //
 // Opcodes (one byte, operands follow):
 //
@@ -54,6 +56,9 @@ type machine struct {
 	g      Geometry
 	serial *core.Sketch
 	wide   *core.Sketch
+	// scalar sees the identical op stream but merges via MergeScalar: any
+	// divergence from serial is a word-wide merge kernel bug.
+	scalar *core.Sketch
 	shard  *fcm.Sharded
 	oracle map[uint32]uint64
 	keybuf [4]byte
@@ -65,6 +70,9 @@ type machine struct {
 func (m *machine) checkWide(step int) error {
 	if d := m.serial.FirstRegisterDiff(m.wide); d != "" {
 		return fmt.Errorf("step %d: wide shim diverged from compact lanes: %s", step, d)
+	}
+	if d := m.serial.FirstRegisterDiff(m.scalar); d != "" {
+		return fmt.Errorf("step %d: word merge diverged from scalar twin: %s", step, d)
 	}
 	return nil
 }
@@ -104,12 +112,16 @@ func RunSketchOps(program []byte) error {
 	if err != nil {
 		return fmt.Errorf("building wide-shim sketch: %w", err)
 	}
+	scalar, err := g.NewCore()
+	if err != nil {
+		return fmt.Errorf("building scalar-merge twin: %w", err)
+	}
 	shards := 1 + len(program)%4
 	sh, err := newSharded(g, shards)
 	if err != nil {
 		return fmt.Errorf("building sharded sketch: %w", err)
 	}
-	m := &machine{g: g, serial: serial, wide: wide, shard: sh, oracle: make(map[uint32]uint64)}
+	m := &machine{g: g, serial: serial, wide: wide, scalar: scalar, shard: sh, oracle: make(map[uint32]uint64)}
 
 	steps := 0
 	for i := 0; i < len(program) && steps < 4096; steps++ {
@@ -128,6 +140,7 @@ func RunSketchOps(program []byte) error {
 			k, inc := m.key(arg()), uint64(1+arg()%16)
 			m.serial.Update(k, inc)
 			m.wide.Update(k, inc)
+			m.scalar.Update(k, inc)
 			m.shard.Update(k, inc)
 			m.oracle[binary.BigEndian.Uint32(k)] += inc
 		case 0x01:
@@ -141,6 +154,7 @@ func RunSketchOps(program []byte) error {
 			}
 			m.serial.UpdateBatch(keys, 1)
 			m.wide.UpdateBatch(keys, 1)
+			m.scalar.UpdateBatch(keys, 1)
 			m.shard.UpdateBatch(keys, 1)
 		case 0x02:
 			if d := m.serial.FirstRegisterDiff(m.shard.Snapshot().Core()); d != "" {
@@ -159,6 +173,7 @@ func RunSketchOps(program []byte) error {
 			}
 			m.serial.Reset()
 			m.wide.Reset()
+			m.scalar.Reset()
 			clear(m.oracle)
 		case 0x04:
 			side, err := m.g.NewCore()
@@ -175,6 +190,9 @@ func RunSketchOps(program []byte) error {
 			if err := m.wide.Merge(side); err != nil {
 				return fmt.Errorf("step %d: wide-shim merge: %w", steps, err)
 			}
+			if err := m.scalar.MergeScalar(side); err != nil {
+				return fmt.Errorf("step %d: scalar twin merge: %w", steps, err)
+			}
 			sideFCM, err := fcm.NewSketch(fcm.Config{
 				K: m.g.K, Trees: m.g.Trees, Widths: m.g.Widths, LeafWidth: m.g.LeafWidth,
 				Seed: m.g.Seed, PerTreeHash: m.g.PerTreeHash,
@@ -190,6 +208,7 @@ func RunSketchOps(program []byte) error {
 		case 0x05:
 			m.serial.Reset()
 			m.wide.Reset()
+			m.scalar.Reset()
 			m.shard.Reset()
 			clear(m.oracle)
 		case 0x06:
@@ -212,6 +231,7 @@ func RunSketchOps(program []byte) error {
 			k, inc := m.key(arg()), uint64(1+arg())*8192
 			m.serial.Update(k, inc)
 			m.wide.Update(k, inc)
+			m.scalar.Update(k, inc)
 			m.shard.Update(k, inc)
 			m.oracle[binary.BigEndian.Uint32(k)] += inc
 		}
@@ -224,6 +244,9 @@ func RunSketchOps(program []byte) error {
 	}
 	if d := m.serial.FirstRegisterDiff(m.wide); d != "" {
 		return fmt.Errorf("final wide-shim state diverged from compact lanes: %s", d)
+	}
+	if d := m.serial.FirstRegisterDiff(m.scalar); d != "" {
+		return fmt.Errorf("final word-merge state diverged from scalar twin: %s", d)
 	}
 	if m.oneSidedOK() {
 		var kb [4]byte

@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"github.com/fcmsketch/fcm/internal/collect"
+	"github.com/fcmsketch/fcm/internal/core"
+)
+
+// errGeometry flags an impossible mismatch inside the measured loops.
+var errGeometry = errors.New("foldpath: geometry mismatch")
+
+// foldFleetSize matches the aggregator fleet scenario: members folded into
+// the aggregate per export window.
+const foldFleetSize = 208
+
+// RunFoldpath measures the fold plane — the paths that merge and compare
+// sketches rather than ingest packets: pairwise merge and the 208-member
+// fleet fold through both the word-wide (SWAR) kernel and the scalar
+// reference walk, plus the snapshot diff and register-equality scans the
+// collection plane runs per poll. All variants fold the same loaded
+// sketches on the paper's default {8,16,32} geometry, so the ratio column
+// isolates the kernel, not the workload.
+func RunFoldpath(o Options) ([]*Table, error) {
+	o = o.withDefaults()
+	cfg := core.Config{K: 8, Trees: 2, LeafWidth: 4096, Widths: []int{8, 16, 32}}
+	mk := func() (*core.Sketch, error) { return core.New(cfg) }
+
+	// Two loaded peers for the pair merge, a fleet of lightly-loaded
+	// members for the window fold, and a persistent accumulator.
+	rng := rand.New(rand.NewSource(o.Seed))
+	key := make([]byte, 4)
+	load := func(sk *core.Sketch, n int) {
+		for i := 0; i < n; i++ {
+			k := uint32(rng.ExpFloat64() * 700)
+			key[0], key[1], key[2], key[3] = byte(k), byte(k>>8), byte(k>>16), byte(k>>24)
+			sk.Update(key, 1)
+		}
+	}
+	acc, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	x, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	y, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	load(x, 30000)
+	load(y, 30000)
+	members := make([]*core.Sketch, foldFleetSize)
+	for m := range members {
+		sk, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		load(sk, 2000)
+		members[m] = sk
+	}
+
+	// measure runs op repeatedly until enough wall time has accumulated to
+	// trust the mean, returning ns/op.
+	measure := func(op func() error) (float64, error) {
+		const minRun = 200 * time.Millisecond
+		iters, elapsed := 0, time.Duration(0)
+		for elapsed < minRun {
+			start := time.Now()
+			if err := op(); err != nil {
+				return 0, err
+			}
+			elapsed += time.Since(start)
+			iters++
+		}
+		return float64(elapsed.Nanoseconds()) / float64(iters), nil
+	}
+
+	t := &Table{ID: "foldpath", Title: "Fold plane: word-wide (SWAR) vs scalar (ns/op)",
+		PaperNote: "exact lossless merge (§5) at fleet scale; default {8,16,32} geometry, K=8, 2 trees",
+		Headers:   []string{"operation", "scalar ns/op", "word ns/op", "speedup"}}
+
+	addPair := func(name string, scalar, word func() error) error {
+		sns, err := measure(scalar)
+		if err != nil {
+			return err
+		}
+		wns, err := measure(word)
+		if err != nil {
+			return err
+		}
+		t.AddRow(name, sns, wns, sns/wns)
+		o.logf("foldpath: %s done", name)
+		return nil
+	}
+
+	if err := addPair("merge pair",
+		func() error {
+			acc.Reset()
+			if err := acc.MergeScalar(x); err != nil {
+				return err
+			}
+			return acc.MergeScalar(y)
+		},
+		func() error {
+			acc.Reset()
+			if err := acc.Merge(x); err != nil {
+				return err
+			}
+			return acc.Merge(y)
+		}); err != nil {
+		return nil, err
+	}
+
+	if err := addPair("absorb fleet (208)",
+		func() error {
+			acc.Reset()
+			for _, m := range members {
+				if err := acc.MergeScalar(m); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func() error {
+			acc.Reset()
+			for _, m := range members {
+				if err := acc.Merge(m); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+		return nil, err
+	}
+
+	// Per-poll comparison paths: snapshot diff between adjacent polls and
+	// the register-equality scan (word-compare prescreen on equal state).
+	base := collect.TakeSnapshot(x)
+	load(x, 200)
+	cur := collect.TakeSnapshot(x)
+	diffNs, err := measure(func() error {
+		if _, ok := collect.DiffSnapshots(base, cur); !ok {
+			return errGeometry
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("diff snapshots (~0.5% changed)", "-", diffNs, "-")
+
+	clone := x.Clone()
+	eqNs, err := measure(func() error {
+		if !x.EqualRegisters(clone) {
+			return errGeometry
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("equal registers (identical)", "-", eqNs, "-")
+	return []*Table{t}, nil
+}

@@ -37,6 +37,7 @@ var registry = map[string]Experiment{
 	"shardedspeed": {"shardedspeed", "Multi-writer sharded ingest throughput + exact-merge check", RunShardedSpeed},
 	"telemetry":    {"telemetry", "Ingest throughput overhead of sketch self-telemetry (≤5% contract)", RunTelemetryOverhead},
 	"hotpath":      {"hotpath", "Ingest hot path: one-pass vs per-tree hashing, batched vs unbatched", RunHotpath},
+	"foldpath":     {"foldpath", "Fold plane: word-wide (SWAR) vs scalar merge, fleet fold, snapshot diff", RunFoldpath},
 }
 
 // Lookup returns the experiment with the given ID.
