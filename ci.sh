@@ -78,7 +78,7 @@ go test -race -count=1 ./internal/difftest/
 # and match the in-code seed definitions (TestSeedCorpora enforces
 # staleness; the explicit file check below catches an accidentally pruned
 # checkout before go test would silently fuzz from nothing).
-for target in FuzzSketchOps FuzzPcapIngest FuzzEMInput; do
+for target in FuzzSketchOps FuzzPcapIngest FuzzEMInput FuzzWindowOps; do
   dir="internal/difftest/testdata/fuzz/$target"
   [ -d "$dir" ]
   [ -n "$(ls -A "$dir")" ]
@@ -87,6 +87,7 @@ dir="internal/collect/testdata/fuzz/FuzzDeltaFrame"
 [ -d "$dir" ]
 [ -n "$(ls -A "$dir")" ]
 go test -count=1 -run 'TestSeedCorpora' ./internal/difftest/
+go test -count=1 -run 'TestWindowSeedCorpus' ./internal/difftest/
 go test -count=1 -run 'TestDeltaSeedCorpus' ./internal/collect/
 
 # Fuzz gate, part 2: short smoke runs of every native fuzz target — the
@@ -98,6 +99,23 @@ go test -run NOMATCH -fuzz '^FuzzSketchOps$' -fuzztime 10s ./internal/difftest/
 go test -run NOMATCH -fuzz '^FuzzPcapIngest$' -fuzztime 10s ./internal/difftest/
 go test -run NOMATCH -fuzz '^FuzzEMInput$' -fuzztime 10s ./internal/difftest/
 go test -run NOMATCH -fuzz '^FuzzDeltaFrame$' -fuzztime 10s ./internal/collect/
+go test -run NOMATCH -fuzz '^FuzzWindowOps$' -fuzztime 10s ./internal/difftest/
+
+# Window gate, part 1: the windowed differential battery under -race and
+# uncached — every over-time query must equal the same query against a
+# serial ingest of the concatenated covering windows, bit-exact, including
+# with rotations racing live writers; plus the in-package ring suite
+# (attach/retention/lookback/handler/telemetry) and the windowed snapshot
+# codec golden vectors with their every-bit-flip rejection sweep.
+go test -race -count=1 -run 'Window' \
+  ./internal/difftest/ ./internal/window/ ./internal/collect/
+
+# Window gate, part 2: the over-time query-throughput floor at the full
+# 64-bucket lookback (TestOverTimeQueryFloor requires >= 100 queries/s on
+# the test geometry; BENCH_overtime.json records the real numbers), and a
+# bench smoke so those numbers stay regenerable.
+go test -count=1 -run 'TestOverTimeQueryFloor' ./internal/window/
+go test -run NOMATCH -bench 'QueryOverTime|Rotate' -benchtime 1x ./internal/window/
 
 # Telemetry gate, part 1: the telemetry-plane suites race-enabled and
 # uncached — registry/export correctness and exposition linting, the

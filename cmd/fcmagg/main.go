@@ -12,16 +12,25 @@
 // aggregator's /healthz) and the numbers cannot change — only the
 // collection path does.
 //
+// With -window the aggregator also keeps a sliding-window ring over
+// collection rounds: members are polled in reset mode (each snapshot is
+// one interval's traffic), every round's merged region sketch is filed as
+// one window, and /debug/overtime on the telemetry address answers
+// over-time queries — per-key counts, cardinality, entropy and flow-size
+// distribution over any lookback — plus FCMW window-frame export.
+//
 // Usage:
 //
 //	fcmagg -members 10.0.0.1:9401,10.0.0.2:9401 -listen 127.0.0.1:9411
 //	fcmagg -members @region0.txt -interval 5s -max-in-flight 8 -delta=false
 //	fcmagg -members ... -listen :9411 -telemetry-addr :9412
+//	fcmagg -members ... -telemetry-addr :9412 -window -window-buckets 512
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -32,6 +41,7 @@ import (
 	"github.com/fcmsketch/fcm/internal/insight"
 	"github.com/fcmsketch/fcm/internal/telemetry"
 	"github.com/fcmsketch/fcm/internal/telemetry/tracing"
+	"github.com/fcmsketch/fcm/internal/window"
 )
 
 func main() {
@@ -50,6 +60,9 @@ func main() {
 		maxConns = flag.Int("max-conns", 64, "max simultaneous collection connections (excess rejected and counted)")
 		maxSess  = flag.Int("max-sessions", 64, "max tracked codec v3 delta sessions (LRU-evicted beyond this)")
 		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/pprof, /debug/traces and /debug/insight on this HTTP address")
+		windowed = flag.Bool("window", false, "file each collection round's merged region sketch into a sliding-window ring and serve over-time queries on /debug/overtime (forces reset-mode member polls)")
+		winMax   = flag.Int("window-buckets", 256, "over-time ring: windows of history retained (older rounds coarsen into wider buckets, then drop)")
+		winSpan  = flag.Int("window-span-cap", 3, "over-time ring: buckets per coarsening level before two merge into the next (1 = most aggressive)")
 		flightOn = flag.Bool("flight-recorder", true, "capture flight-recorder traces of member polls and serve requests (/debug/traces)")
 		logLevel = flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
@@ -73,7 +86,10 @@ func main() {
 	}
 	memberCfgs := make([]collect.PollerConfig, len(addrs))
 	for i, a := range addrs {
-		memberCfgs[i] = collect.PollerConfig{Addr: a}
+		// Windowed aggregation needs per-interval member snapshots: reset
+		// mode rotates each switch after a successful read, so the next
+		// read is exactly one round's traffic.
+		memberCfgs[i] = collect.PollerConfig{Addr: a, Reset: *windowed}
 	}
 
 	recorder := tracing.NewRecorder(tracing.RecorderConfig{})
@@ -95,6 +111,18 @@ func main() {
 	})
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	// The over-time ring files one window per collection round. Filing is
+	// generation-gated: a round in which no member reported files nothing
+	// (re-filing the previous merge would double-count its traffic).
+	var ring *window.Ring
+	if *windowed {
+		ring = window.NewCollector(window.Config{
+			BucketDuration: *interval,
+			MaxWindows:     *winMax,
+			SpanCap:        *winSpan,
+		})
 	}
 
 	var srv *collect.Server
@@ -123,6 +151,9 @@ func main() {
 		if srv != nil {
 			srv.Instrument(reg, "")
 		}
+		if ring != nil {
+			ring.Instrument(reg)
+		}
 		mux := telemetry.NewMux(reg, "fcmagg", func() map[string]any {
 			st := agg.Stats()
 			extra := map[string]any{
@@ -134,9 +165,12 @@ func main() {
 				extra["collect_addr"] = srv.Addr()
 			}
 			return extra
-		}, "/debug/traces", "/debug/insight")
+		}, telemetryPaths(ring != nil)...)
 		mux.Handle("/debug/traces", recorder)
 		mux.Handle("/debug/insight", insight.FleetHandler(agg.InsightReport))
+		if ring != nil {
+			mux.Handle("/debug/overtime", window.Handler(ring))
+		}
 		addr, shutdownTel, err := telemetry.Serve(*telAddr, mux)
 		if err != nil {
 			fatalf("%v", err)
@@ -150,11 +184,21 @@ func main() {
 	if err := agg.Start(); err != nil {
 		fatalf("%v", err)
 	}
+	var stopFiling chan struct{}
+	if ring != nil {
+		stopFiling = make(chan struct{})
+		go fileRounds(ring, agg, *interval, stopFiling, logger)
+		fmt.Printf("over-time ring enabled: %d windows of %s history, span cap %d\n",
+			*winMax, *interval, *winSpan)
+	}
 	fmt.Printf("aggregating %d members every %s; SIGINT to stop\n", len(addrs), *interval)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	if stopFiling != nil {
+		close(stopFiling)
+	}
 	agg.Stop()
 	if srv != nil {
 		srv.Close() //nolint:errcheck // exiting anyway
@@ -165,6 +209,47 @@ func main() {
 	if fr := agg.InsightReport(); len(fr.Members) > 0 {
 		fmt.Println()
 		insight.WriteFleetText(os.Stdout, fr)
+	}
+}
+
+// telemetryPaths lists the extra mux paths /healthz advertises, with the
+// over-time endpoint included only when the ring is enabled.
+func telemetryPaths(overtime bool) []string {
+	paths := []string{"/debug/traces", "/debug/insight"}
+	if overtime {
+		paths = append(paths, "/debug/overtime")
+	}
+	return paths
+}
+
+// fileRounds files one window per collection round into the over-time
+// ring: each tick takes the exact merge of the members' latest reset-mode
+// snapshots and appends it as the round's traffic. Rounds where no member
+// reported (generation unchanged) file nothing — the next filed window's
+// time span covers the gap, so Coverage stays honest.
+func fileRounds(ring *window.Ring, agg *collect.Aggregator, interval time.Duration, stop <-chan struct{}, logger *slog.Logger) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var lastGen uint64
+	lastTime := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		sk, gen := agg.SnapshotSketchGen()
+		if sk == nil || gen == lastGen {
+			continue
+		}
+		now := time.Now()
+		if err := ring.FileWindow(sk, lastTime, now, sk.TotalCount(0)); err != nil {
+			// Geometry drift mid-reconfiguration: skip the round rather
+			// than poison the ring.
+			logger.Warn("over-time ring rejected round", "err", err)
+			continue
+		}
+		lastGen, lastTime = gen, now
 	}
 }
 

@@ -18,6 +18,8 @@
 //	fcmctl -metrics 127.0.0.1:9402
 //	fcmctl -traces 127.0.0.1:9402
 //	fcmctl -insight 127.0.0.1:9402
+//	fcmctl -over-time 127.0.0.1:9412 -lookback 8
+//	fcmctl -over-time 127.0.0.1:9412 -lookback 1m -key 0a000001 -em 5
 //
 // With -metrics it scrapes a switch's telemetry endpoint instead of its
 // registers: the /healthz identity line followed by every metric series,
@@ -26,9 +28,14 @@
 // first with delta fallback reasons highlighted; with -insight it renders
 // the live accuracy self-report (error bounds, cardinality validity,
 // saturation forecast) of a switch or a whole aggregated fleet.
+// With -over-time it queries a windowed endpoint's sliding-window ring
+// (/debug/overtime): -lookback selects the trailing history as a window
+// count ("8") or duration ("1m"), -key adds a per-flow estimate, -em adds
+// the EM entropy and flow-size distribution over exactly that span.
 package main
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,9 +43,11 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -49,6 +58,7 @@ import (
 	"github.com/fcmsketch/fcm/internal/insight"
 	"github.com/fcmsketch/fcm/internal/telemetry"
 	"github.com/fcmsketch/fcm/internal/telemetry/tracing"
+	"github.com/fcmsketch/fcm/internal/window"
 )
 
 func main() {
@@ -66,6 +76,10 @@ func main() {
 		metrics  = flag.String("metrics", "", "scrape and pretty-print a telemetry endpoint (host:port) instead of collecting")
 		traces   = flag.String("traces", "", "fetch a telemetry endpoint's flight-recorder traces (/debug/traces), slowest first, fallback reasons highlighted")
 		insights = flag.String("insight", "", "fetch a telemetry endpoint's live accuracy self-report (/debug/insight)")
+		overTime = flag.String("over-time", "", "query a windowed telemetry endpoint's over-time ring (/debug/overtime)")
+		lookback = flag.String("lookback", "0", "over-time lookback: a window count (\"8\", 0 = all) or a duration (\"90s\")")
+		keyHex   = flag.String("key", "", "over-time: also estimate this hex-encoded flow key over the lookback")
+		emOver   = flag.Int("em", 0, "over-time: run N EM iterations for entropy + FSD over the lookback (0 = skip)")
 		logLevel = flag.String("log-level", "warn", "log verbosity in -poll mode: debug | info | warn | error")
 		version  = flag.Bool("version", false, "print build information and exit")
 	)
@@ -89,6 +103,12 @@ func main() {
 	}
 	if *insights != "" {
 		if err := showInsight(os.Stdout, *insights); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if *overTime != "" {
+		if err := showOverTime(os.Stdout, *overTime, *lookback, *keyHex, *emOver); err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -352,6 +372,69 @@ func showInsight(w io.Writer, addr string) error {
 		return fmt.Errorf("decoding insight report: %w", err)
 	}
 	insight.WriteText(w, rep)
+	return nil
+}
+
+// showOverTime is the -over-time subcommand: it queries /debug/overtime
+// on a windowed endpoint (an fcmagg started with -window) and renders the
+// coverage the ring actually folded, the answers, and the ring occupancy.
+func showOverTime(w io.Writer, addr, lookback, keyHex string, emIters int) error {
+	base := baseURL(addr)
+	q := url.Values{}
+	if d, err := time.ParseDuration(lookback); err == nil {
+		q.Set("duration", d.String())
+	} else if n, err := strconv.Atoi(lookback); err == nil && n >= 0 {
+		if n > 0 {
+			q.Set("windows", strconv.Itoa(n))
+		}
+	} else {
+		return fmt.Errorf("bad -lookback %q: want a window count or a duration", lookback)
+	}
+	if keyHex != "" {
+		if _, err := hex.DecodeString(keyHex); err != nil {
+			return fmt.Errorf("bad -key hex: %w", err)
+		}
+		q.Set("key", keyHex)
+	}
+	if emIters > 0 {
+		q.Set("em", strconv.Itoa(emIters))
+	}
+	cl := &http.Client{Timeout: 30 * time.Second}
+	var resp window.QueryResponse
+	if err := getJSON(cl, base+"/debug/overtime?"+q.Encode(), &resp); err != nil {
+		return fmt.Errorf("querying %s/debug/overtime: %w", base, err)
+	}
+
+	cov := resp.Coverage
+	live := ""
+	if cov.IncludesLive {
+		live = " + live"
+	}
+	fmt.Fprintf(w, "coverage: %d windows in %d buckets%s, generations [%d,%d], %d packets\n",
+		cov.Windows, cov.Buckets, live, cov.FirstGeneration, cov.LastGeneration, cov.Packets)
+	if !cov.From.IsZero() {
+		fmt.Fprintf(w, "span: %s .. %s (%s)\n",
+			cov.From.Format(time.TimeOnly), cov.To.Format(time.TimeOnly),
+			cov.To.Sub(cov.From).Round(time.Second))
+	}
+	fmt.Fprintf(w, "cardinality (linear counting): %.0f\n", resp.Cardinality)
+	if resp.Estimate != nil {
+		fmt.Fprintf(w, "flow %s: %d packets over the lookback\n", resp.Key, *resp.Estimate)
+	}
+	if resp.Entropy != nil {
+		fmt.Fprintf(w, "entropy estimate: %.4f bits\n", *resp.Entropy)
+		fmt.Fprintln(w, "flow size distribution (head):")
+		for size := 1; size < len(resp.FSDHead); size++ {
+			fmt.Fprintf(w, "  size %3d: %10.1f flows\n", size, resp.FSDHead[size])
+		}
+	}
+	if len(resp.Buckets) > 0 {
+		fmt.Fprintf(w, "ring: %d buckets\n", len(resp.Buckets))
+		for _, b := range resp.Buckets {
+			fmt.Fprintf(w, "  level %d  span %3d  generations [%d,%d]  %d packets\n",
+				b.Level, b.Span, b.FirstGeneration, b.Generation, b.Packets)
+		}
+	}
 	return nil
 }
 

@@ -77,12 +77,27 @@ func (f *Framework) UpdateShard(i int, key []byte, inc uint64) {
 // Rotate closes the current window: its exact merge becomes the previous
 // window and the cleared shards start the next one. Updates concurrent
 // with Rotate land in exactly one of the two windows.
-func (f *Framework) Rotate() {
+func (f *Framework) Rotate() { f.RotateClosed() }
+
+// RotateClosed is the windowed-mode rotation hook: it rotates like Rotate
+// and additionally returns the closed window's exact merge together with
+// the number of packets that window recorded. Temporal layers (such as
+// internal/window's ring of sketches) call it to file each closed window
+// as an immutable bucket; the returned sketch is also retained as the
+// previous window for HeavyChanges, so callers must treat it as read-only.
+func (f *Framework) RotateClosed() (*Sketch, uint64) {
 	f.mu.Lock()
-	f.prev = f.cur.Rotate()
-	f.prevPackets.Store(f.windowPackets.Swap(0))
+	closed := f.cur.Rotate()
+	packets := f.windowPackets.Swap(0)
+	f.prev = closed
+	f.prevPackets.Store(packets)
 	f.mu.Unlock()
+	return closed, packets
 }
+
+// Config returns the framework's effective configuration (defaults
+// applied), so windowed layers can build merge-compatible sketches.
+func (f *Framework) Config() Config { return f.cfg }
 
 // Absorb folds a remote sketch into the current window — the aggregation
 // step of network-wide monitoring: switch snapshots are collected, restored,

@@ -736,7 +736,9 @@ func (s *Sketch) Cardinality() float64 {
 		// limit with a single empty slot, the standard LC fallback.
 		w0 = 1
 	}
-	return -w1 * math.Log(w0/w1)
+	// +0 normalizes the empty-sketch result: log(w1/w1) is +0 and
+	// negating it would otherwise surface as -0 in reports and JSON.
+	return -w1*math.Log(w0/w1) + 0
 }
 
 // EmptyLeaves returns the number of zero-valued stage-1 nodes averaged over

@@ -107,6 +107,47 @@ func emSeedInputs() [][]byte {
 	}
 }
 
+// windowOpsSeedPrograms returns handwritten programs for FuzzWindowOps
+// that walk every opcode on every geometry, including deep rotation runs
+// (coarsening cascades), forced compactions, and saturation bursts
+// crossing lane boundaries inside coarsened buckets.
+func windowOpsSeedPrograms() [][]byte {
+	var progs [][]byte
+	for geom := byte(0); geom < 5; geom++ {
+		progs = append(progs,
+			// Two windows, audit between and after, then a key query.
+			[]byte{geom, 0x00, 1, 5, 0x00, 2, 9, 0x02, 0x04, 0x00, 7, 3, 0x02, 0x04, 0x05, 1},
+			// Batch ingest, rotate, forced coarsen, audit at every lookback.
+			[]byte{geom, 0x01, 17, 1, 2, 3, 0x02, 0x01, 9, 4, 5, 0x02, 0x03, 0x04, 0x05, 4},
+			// Empty-window rotations interleaved with queries (ceiling over
+			// zero-packet buckets must still fold exactly).
+			[]byte{geom, 0x02, 0x02, 0x00, 3, 1, 0x02, 0x04, 0x05, 3},
+		)
+	}
+	// Deep rotation run on the default-shaped geometry: enough windows to
+	// cascade the exponential histogram through several levels, audited
+	// mid-run and at the end.
+	deep := []byte{4}
+	for w := 0; w < 16; w++ {
+		deep = append(deep, 0x00, byte(w), byte(w), 0x02)
+		if w%5 == 4 {
+			deep = append(deep, 0x04)
+		}
+	}
+	deep = append(deep, 0x04, 0x05, 3)
+	progs = append(progs, deep)
+	// Saturation bursts across rotations: lane boundaries (254/65534) are
+	// crossed inside closed buckets, so coarsening merges see marks and
+	// carries; forced Coarsen compacts them further.
+	burst := []byte{4}
+	for i := 0; i < 8; i++ {
+		burst = append(burst, 0x06, 3, 255, 0x02)
+	}
+	burst = append(burst, 0x03, 0x03, 0x04, 0x05, 3)
+	progs = append(progs, burst)
+	return progs
+}
+
 // corpusTargets maps each fuzz target to its seed inputs.
 func corpusTargets() map[string][][]byte {
 	return map[string][][]byte{
@@ -122,43 +163,57 @@ func corpusEntry(data []byte) []byte {
 	return []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n")
 }
 
-// TestSeedCorpora pins the checked-in corpora to the in-code seed
-// definitions: with -update-corpus it rewrites testdata/fuzz, without it
-// it fails if any corpus directory is missing, empty, or stale. CI relies
-// on this plus an explicit non-empty check in ci.sh.
-func TestSeedCorpora(t *testing.T) {
-	for target, seeds := range corpusTargets() {
-		dir := filepath.Join("testdata", "fuzz", target)
-		if *updateCorpus {
-			if err := os.RemoveAll(dir); err != nil {
-				t.Fatal(err)
-			}
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				t.Fatal(err)
-			}
-			for i, s := range seeds {
-				name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
-				if err := os.WriteFile(name, corpusEntry(s), 0o644); err != nil {
-					t.Fatal(err)
-				}
-			}
+// pinCorpus pins one target's checked-in corpus to its in-code seeds:
+// with -update-corpus it rewrites testdata/fuzz/<target>, without it it
+// fails if the corpus directory is missing, empty, or stale.
+func pinCorpus(t *testing.T, target string, seeds [][]byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", target)
+	if *updateCorpus {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
 		}
-		ents, err := os.ReadDir(dir)
-		if err != nil {
-			t.Fatalf("corpus for %s unreadable (run with -update-corpus to regenerate): %v", target, err)
-		}
-		if len(ents) < len(seeds) {
-			t.Fatalf("corpus for %s has %d entries, want ≥ %d (run with -update-corpus)", target, len(ents), len(seeds))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
 		}
 		for i, s := range seeds {
 			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
-			got, err := os.ReadFile(name)
-			if err != nil {
-				t.Fatalf("corpus for %s: %v (run with -update-corpus)", target, err)
-			}
-			if !bytes.Equal(got, corpusEntry(s)) {
-				t.Fatalf("corpus entry %s is stale (run with -update-corpus)", name)
+			if err := os.WriteFile(name, corpusEntry(s), 0o644); err != nil {
+				t.Fatal(err)
 			}
 		}
 	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("corpus for %s unreadable (run with -update-corpus to regenerate): %v", target, err)
+	}
+	if len(ents) < len(seeds) {
+		t.Fatalf("corpus for %s has %d entries, want ≥ %d (run with -update-corpus)", target, len(ents), len(seeds))
+	}
+	for i, s := range seeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("corpus for %s: %v (run with -update-corpus)", target, err)
+		}
+		if !bytes.Equal(got, corpusEntry(s)) {
+			t.Fatalf("corpus entry %s is stale (run with -update-corpus)", name)
+		}
+	}
+}
+
+// TestSeedCorpora pins the checked-in corpora to the in-code seed
+// definitions. CI relies on this plus an explicit non-empty check in
+// ci.sh.
+func TestSeedCorpora(t *testing.T) {
+	for target, seeds := range corpusTargets() {
+		pinCorpus(t, target, seeds)
+	}
+}
+
+// TestWindowSeedCorpus pins the FuzzWindowOps corpus; regenerate with
+//
+//	go test ./internal/difftest -run TestWindowSeedCorpus -update-corpus
+func TestWindowSeedCorpus(t *testing.T) {
+	pinCorpus(t, "FuzzWindowOps", windowOpsSeedPrograms())
 }

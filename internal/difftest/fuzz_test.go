@@ -30,6 +30,25 @@ func FuzzSketchOps(f *testing.F) {
 	})
 }
 
+// FuzzWindowOps state-machine-fuzzes the temporal layer: the input is a
+// program over Update/UpdateBatch/Rotate/Coarsen/audit/query, interpreted
+// in lockstep against per-window serial reference sketches (scalar-merge
+// folds) and per-window exact oracles. See RunWindowOps for the opcode
+// table. Its seed corpus is pinned by TestWindowSeedCorpus.
+func FuzzWindowOps(f *testing.F) {
+	for _, seed := range windowOpsSeedPrograms() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 2048 {
+			return
+		}
+		if err := RunWindowOps(program); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // fuzzPcapGeometry is the tiny fixed geometry both pcap ingest paths use;
 // constant so every corpus entry reproduces byte-identical placement.
 var fuzzPcapGeometry = Geometry{K: 2, Trees: 2, Widths: []int{2, 4, 8}, LeafWidth: 8, Seed: 9}

@@ -15,19 +15,45 @@ import (
 // replays exactly that trial and nothing else.
 var flagSeed = flag.Int64("seed", 0, "replay a single trial with this seed instead of the derived sweep")
 
+// runWithSeedLog invokes fn and guarantees the reproduce line for (name,
+// seed) reaches logf before any panic escapes: a panicking check is
+// caught, the seed is logged, and the panic is rethrown. The t.Cleanup
+// path alone is not enough — it fires during teardown, after the panic
+// has started unwinding, and a secondary failure there (or a crash
+// before cleanups run) loses the one number needed to reproduce the
+// trial. Logging inside the recover window runs first, in the trial's
+// own goroutine, while the state that caused the panic is still live.
+func runWithSeedLog(logf func(format string, args ...any), name string, seed int64, fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			logf("reproduce: go test ./internal/difftest -run '%s' -seed %d", name, seed)
+			panic(r)
+		}
+	}()
+	fn()
+}
+
 // trials runs fn over n seeds derived from base, each as its own subtest
 // named by its seed. With -seed set it runs exactly one trial with that
-// seed. Every failure reports the one number needed to reproduce it.
+// seed. Every failure — including a panic inside a check — reports the
+// one number needed to reproduce it, exactly once.
 func trials(t *testing.T, base int64, n int, fn func(t *testing.T, seed int64)) {
 	t.Helper()
 	run := func(seed int64) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			logged := false
+			logSeed := func(format string, args ...any) {
+				if !logged {
+					logged = true
+					t.Logf(format, args...)
+				}
+			}
 			t.Cleanup(func() {
 				if t.Failed() {
-					t.Logf("reproduce: go test ./internal/difftest -run '%s' -seed %d", t.Name(), seed)
+					logSeed("reproduce: go test ./internal/difftest -run '%s' -seed %d", t.Name(), seed)
 				}
 			})
-			fn(t, seed)
+			runWithSeedLog(logSeed, t.Name(), seed, func() { fn(t, seed) })
 		})
 	}
 	if *flagSeed != 0 {
@@ -36,5 +62,40 @@ func trials(t *testing.T, base int64, n int, fn func(t *testing.T, seed int64)) 
 	}
 	for i := 0; i < n; i++ {
 		run(DeriveSeed(base, i))
+	}
+}
+
+// TestSeedLoggedBeforePanic pins the panic path of runWithSeedLog: a
+// check that panics (instead of failing the test) must still emit the
+// reproduce line, before the panic propagates, and the panic value must
+// survive the rethrow.
+func TestSeedLoggedBeforePanic(t *testing.T) {
+	var lines []string
+	logf := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		runWithSeedLog(logf, "TestSeedLoggedBeforePanic/seed=42", 42, func() {
+			panic("check blew up")
+		})
+		return nil
+	}()
+	if recovered != "check blew up" {
+		t.Fatalf("panic value not rethrown: got %v", recovered)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("got %d log lines, want exactly 1: %q", len(lines), lines)
+	}
+	want := "reproduce: go test ./internal/difftest -run 'TestSeedLoggedBeforePanic/seed=42' -seed 42"
+	if lines[0] != want {
+		t.Fatalf("seed line mismatch:\n got %q\nwant %q", lines[0], want)
+	}
+
+	// The happy path must stay silent.
+	lines = nil
+	runWithSeedLog(logf, "TestSeedLoggedBeforePanic", 7, func() {})
+	if len(lines) != 0 {
+		t.Fatalf("non-failing trial logged %q", lines)
 	}
 }

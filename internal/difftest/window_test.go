@@ -1,0 +1,136 @@
+package difftest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fcmsketch/fcm/internal/window"
+)
+
+// TestWindowedDifferentialEquivalence is the headline windowed sweep: for
+// every fixed geometry, seeded random workloads are cut into windows,
+// ingested through the temporal ring (rotating after each), and every
+// over-time query is checked bit-for-bit against a serial ingest of the
+// covering windows Coverage reports — across lookback depths, coarsening
+// structures, live-edge inclusion and rotate/query races. Any divergence
+// fails with the seed that reproduces it.
+func TestWindowedDifferentialEquivalence(t *testing.T) {
+	for gi, g := range Geometries() {
+		g := g
+		t.Run(g.String(), func(t *testing.T) {
+			t.Parallel()
+			trials(t, int64(0x817d0000)+int64(gi), 30, func(t *testing.T, seed int64) {
+				w := RandomWorkload(seed)
+				if err := CheckWindowAll(g, w, seed); err != nil {
+					t.Fatalf("workload %d packets: %v", w.NumPackets(), err)
+				}
+			})
+		})
+	}
+}
+
+// TestWindowedRandomGeometry extends the windowed sweep to randomly drawn
+// geometries, so the over-time invariant is not an artifact of the fixed
+// matrix: arity, depth, widths, leaf width, seed and hash mode all derive
+// from the trial seed.
+func TestWindowedRandomGeometry(t *testing.T) {
+	t.Parallel()
+	trials(t, 0x817d9e03, 25, func(t *testing.T, seed int64) {
+		rng := newRng(seed)
+		g := RandomGeometry(rng)
+		w := RandomWorkload(DeriveSeed(seed, 1))
+		if err := CheckWindowAll(g, w, seed); err != nil {
+			t.Fatalf("geometry %s, %d packets: %v", g, w.NumPackets(), err)
+		}
+	})
+}
+
+// TestWindowRotateRacingWriters rotates the ring while writers are mid-
+// stream and over-time queries run concurrently. Each update must land in
+// exactly one window, so after quiescing and closing the live remainder,
+// the full-history fold recovers the serial sketch bit-for-bit regardless
+// of where the rotations fell. Under -race this is the temporal layer's
+// concurrency gate: rotation swaps, covering-set scans and pooled scratch
+// reuse all race live SWAR writers here.
+func TestWindowRotateRacingWriters(t *testing.T) {
+	t.Parallel()
+	trials(t, 0x817d4ace, 8, func(t *testing.T, seed int64) {
+		g := Geometries()[int(uint64(seed)>>8)%len(Geometries())]
+		w := RandomWorkload(seed)
+		ref, err := Serial(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := newRing(g, 1+int((uint64(seed)>>16)%4), 1+int((uint64(seed)>>32)%3), 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for _, part := range w.Split(3) {
+			part := part
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, k := range part.Keys {
+					if err := r.Update(k, 1); err != nil {
+						panic(err)
+					}
+				}
+			}()
+		}
+		// Concurrent readers: over-time folds must never tear while
+		// rotations and writers are in flight.
+		stop := make(chan struct{})
+		var readers sync.WaitGroup
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := r.SnapshotOverTime(window.LastWindows(0).WithLive()); err != nil && err != window.ErrEmpty {
+					panic(err)
+				}
+			}
+		}()
+		for n := 2 + int(uint64(seed)%3); n > 0; n-- {
+			time.Sleep(200 * time.Microsecond)
+			if err := r.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wg.Wait()
+		close(stop)
+		readers.Wait()
+		// Close the live remainder, then fold everything.
+		if err := r.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+		got, cov, err := r.SnapshotOverTime(window.LastWindows(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cov.FirstGeneration != 1 {
+			t.Fatalf("full fold starts at generation %d, want 1", cov.FirstGeneration)
+		}
+		if err := requireEqual("rotate racing writers", ref, got); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestWindowOpsCorpusReplay replays the checked-in FuzzWindowOps seed
+// corpus through the lockstep machine directly, so the corpus stays a
+// regression suite even in runs that never invoke the fuzz engine.
+func TestWindowOpsCorpusReplay(t *testing.T) {
+	t.Parallel()
+	for i, prog := range windowOpsSeedPrograms() {
+		if err := RunWindowOps(prog); err != nil {
+			t.Errorf("seed program %d: %v", i, err)
+		}
+	}
+}

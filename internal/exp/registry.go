@@ -38,6 +38,7 @@ var registry = map[string]Experiment{
 	"telemetry":    {"telemetry", "Ingest throughput overhead of sketch self-telemetry (≤5% contract)", RunTelemetryOverhead},
 	"hotpath":      {"hotpath", "Ingest hot path: one-pass vs per-tree hashing, batched vs unbatched", RunHotpath},
 	"foldpath":     {"foldpath", "Fold plane: word-wide (SWAR) vs scalar merge, fleet fold, snapshot diff", RunFoldpath},
+	"overtime":     {"overtime", "Sliding-window query plane: over-time query latency vs lookback depth", RunOvertime},
 }
 
 // Lookup returns the experiment with the given ID.

@@ -1,0 +1,42 @@
+package window
+
+import (
+	"github.com/fcmsketch/fcm/internal/telemetry"
+)
+
+// Instrument registers the ring's occupancy and coarsening series on reg:
+//
+//	fcm_window_buckets                 gauge   retained closed buckets
+//	fcm_window_span_windows            gauge   original windows those buckets cover
+//	fcm_window_max_level               gauge   deepest coarsening level present
+//	fcm_window_resident_bytes          gauge   counter bytes held by retained buckets
+//	fcm_window_generation              gauge   newest closed window ordinal
+//	fcm_window_rotations_total         counter windows closed into the ring
+//	fcm_window_coarsen_merges_total    counter exponential-histogram merges performed
+//	fcm_window_dropped_windows_total   counter windows aged out of retention
+func (r *Ring) Instrument(reg *telemetry.Registry) {
+	reg.GaugeFunc("fcm_window_buckets",
+		"Closed buckets currently retained by the over-time ring.",
+		func() float64 { return float64(r.Stats().Buckets) })
+	reg.GaugeFunc("fcm_window_span_windows",
+		"Original measurement windows covered by the retained buckets.",
+		func() float64 { return float64(r.Stats().SpanWindows) })
+	reg.GaugeFunc("fcm_window_max_level",
+		"Deepest exponential-histogram coarsening level present (-1 when empty).",
+		func() float64 { return float64(r.Stats().MaxLevel) })
+	reg.GaugeFunc("fcm_window_resident_bytes",
+		"Bytes of counter storage held by the ring's retained buckets.",
+		func() float64 { return float64(r.Stats().ResidentBytes) })
+	reg.GaugeFunc("fcm_window_generation",
+		"Ordinal of the newest closed measurement window.",
+		func() float64 { return float64(r.Generation()) })
+	reg.CounterFunc("fcm_window_rotations_total",
+		"Measurement windows closed into the over-time ring.",
+		func() float64 { return float64(r.rotations.Load()) })
+	reg.CounterFunc("fcm_window_coarsen_merges_total",
+		"Exponential-histogram coarsening merges performed by the ring.",
+		func() float64 { return float64(r.coarsenMerges.Load()) })
+	reg.CounterFunc("fcm_window_dropped_windows_total",
+		"Measurement windows aged out of the ring's retention horizon.",
+		func() float64 { return float64(r.droppedWindows.Load()) })
+}
