@@ -14,8 +14,10 @@
 //
 // With -window the aggregator also keeps a sliding-window ring over
 // collection rounds: members are polled in reset mode (each snapshot is
-// one interval's traffic), every round's merged region sketch is filed as
-// one window, and /debug/overtime on the telemetry address answers
+// one interval's traffic), each round's newly arrived snapshots are merged
+// and filed as one window (a snapshot joins exactly one window, so members
+// that miss a poll are never double-counted), and /debug/overtime on the
+// required telemetry address answers
 // over-time queries — per-key counts, cardinality, entropy and flow-size
 // distribution over any lookback — plus FCMW window-frame export.
 //
@@ -80,6 +82,10 @@ func main() {
 	}
 	logger := telemetry.NewLogger(os.Stderr, level, *logJSON)
 
+	if *windowed && *telAddr == "" {
+		fatalf("-window requires -telemetry-addr: over-time queries are only served on /debug/overtime, so a ring without a telemetry address would retain history nothing can read")
+	}
+
 	addrs, err := parseMembers(*members)
 	if err != nil {
 		fatalf("%v", err)
@@ -103,6 +109,7 @@ func main() {
 		Delta:       *delta,
 		MaxInFlight: *inFlight,
 		JitterSeed:  *jitter,
+		TrackRounds: *windowed,
 		Logger:      logger,
 		Tracer:      recorder,
 		OnMemberState: func(addr string, from, to collect.State) {
@@ -113,9 +120,10 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	// The over-time ring files one window per collection round. Filing is
-	// generation-gated: a round in which no member reported files nothing
-	// (re-filing the previous merge would double-count its traffic).
+	// The over-time ring files one window per collection round, fed by
+	// DrainRound so every member snapshot lands in exactly one window —
+	// a member that misses a poll contributes nothing that round, not its
+	// previous (already filed) snapshot again.
 	var ring *window.Ring
 	if *windowed {
 		ring = window.NewCollector(window.Config{
@@ -223,14 +231,17 @@ func telemetryPaths(overtime bool) []string {
 }
 
 // fileRounds files one window per collection round into the over-time
-// ring: each tick takes the exact merge of the members' latest reset-mode
-// snapshots and appends it as the round's traffic. Rounds where no member
-// reported (generation unchanged) file nothing — the next filed window's
-// time span covers the gap, so Coverage stays honest.
+// ring: each tick drains the member snapshots absorbed since the last tick
+// (reset-mode, so each is one interval's traffic) and appends their exact
+// merge as the round's window. DrainRound folds each snapshot exactly
+// once, so a member whose poll failed this round is simply absent — its
+// previous snapshot is not re-filed, which would double-count its traffic
+// in every over-time answer. Rounds where no member reported file nothing;
+// the next filed window's time span covers the gap, so Coverage stays
+// honest.
 func fileRounds(ring *window.Ring, agg *collect.Aggregator, interval time.Duration, stop <-chan struct{}, logger *slog.Logger) {
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
-	var lastGen uint64
 	lastTime := time.Now()
 	for {
 		select {
@@ -238,18 +249,21 @@ func fileRounds(ring *window.Ring, agg *collect.Aggregator, interval time.Durati
 			return
 		case <-tick.C:
 		}
-		sk, gen := agg.SnapshotSketchGen()
-		if sk == nil || gen == lastGen {
+		sk := agg.DrainRound()
+		if sk == nil {
 			continue
 		}
 		now := time.Now()
 		if err := ring.FileWindow(sk, lastTime, now, sk.TotalCount(0)); err != nil {
-			// Geometry drift mid-reconfiguration: skip the round rather
-			// than poison the ring.
+			// Geometry drift mid-reconfiguration: drop the round rather
+			// than poison the ring. The drained snapshots are consumed
+			// either way — retrying them later would double-count once
+			// the ring accepts again.
 			logger.Warn("over-time ring rejected round", "err", err)
+			lastTime = now
 			continue
 		}
-		lastGen, lastTime = gen, now
+		lastTime = now
 	}
 }
 

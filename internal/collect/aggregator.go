@@ -35,9 +35,10 @@ type Aggregator struct {
 	sched *Scheduler
 	log   *slog.Logger
 
-	mu     sync.Mutex
-	latest map[string]*core.Sketch // member addr → last restored sketch (immutable)
-	gen    uint64                  // bumped per stored member snapshot
+	mu      sync.Mutex
+	latest  map[string]*core.Sketch // member addr → last restored sketch (immutable)
+	gen     uint64                  // bumped per stored member snapshot
+	pending []*core.Sketch          // snapshots awaiting DrainRound (TrackRounds only)
 
 	memberSnaps   atomic.Uint64
 	merges        atomic.Uint64
@@ -72,6 +73,11 @@ type AggregatorConfig struct {
 	MaxInFlight int
 	// JitterSeed decorrelates the member stagger; 0 means 1.
 	JitterSeed int64
+	// TrackRounds retains every absorbed member snapshot until the next
+	// DrainRound call, for windowed aggregation over reset-mode members
+	// (each snapshot is one interval's traffic, so each must be counted
+	// exactly once). When false, DrainRound always returns nil.
+	TrackRounds bool
 	// Family, when set, restores member sketches with the data plane's
 	// hash family so the merged sketch answers count queries locally. nil
 	// restores control-plane-only sketches (registers still merge and
@@ -196,6 +202,9 @@ func (a *Aggregator) storeMember(addr string, snap *Snapshot) error {
 	a.mu.Lock()
 	a.latest[addr] = sk
 	a.gen++
+	if a.cfg.TrackRounds {
+		a.pending = append(a.pending, sk)
+	}
 	a.mu.Unlock()
 	a.memberSnaps.Add(1)
 	a.noteMemberInsight(addr, sk)
@@ -287,6 +296,45 @@ func (a *Aggregator) SnapshotSketchGen() (*core.Sketch, uint64) {
 	}
 	a.merges.Add(1)
 	return merged, gen
+}
+
+// DrainRound returns the exact merge of every member snapshot absorbed
+// since the previous drain, or nil when none arrived. Each snapshot joins
+// exactly one drained round — unlike SnapshotSketchGen, which re-merges
+// every member's latest sketch, a member that misses a poll contributes
+// nothing rather than its previous (already drained) snapshot again. That
+// exactly-once property is what lets a windowed ring file drained rounds
+// as disjoint traffic intervals without double counting.
+//
+// Requires AggregatorConfig.TrackRounds (otherwise nothing is retained and
+// DrainRound returns nil). If the pending snapshots' geometries drifted
+// mid-reconfiguration the whole batch is dropped with a warning: counts
+// across a reconfiguration are not comparable anyway, and a partial merge
+// would silently misattribute the round.
+func (a *Aggregator) DrainRound() *core.Sketch {
+	a.mu.Lock()
+	refs := a.pending
+	a.pending = nil
+	a.mu.Unlock()
+	if len(refs) == 0 {
+		return nil
+	}
+	var merged *core.Sketch
+	pprof.Do(context.Background(), pprof.Labels("subsystem", "aggregator", "op", "drain"),
+		func(context.Context) {
+			merged = refs[0].Clone()
+			for _, sk := range refs[1:] {
+				if err := merged.Merge(sk); err != nil {
+					a.log.Warn("aggregator dropped round: member geometry drift", "err", err)
+					merged = nil
+					return
+				}
+			}
+		})
+	if merged != nil {
+		a.merges.Add(1)
+	}
+	return merged
 }
 
 // SnapshotSketch implements Source.

@@ -318,3 +318,95 @@ func TestServerRejectsUnknownOpcode(t *testing.T) {
 		t.Error("expected unknown-opcode error")
 	}
 }
+
+// TestDrainRoundExactlyOnce pins the windowed-aggregation contract: every
+// absorbed member snapshot joins exactly one drained round, so a member
+// that misses a poll is simply absent from that round — its previous
+// (already drained) snapshot is never re-merged. SnapshotSketchGen, by
+// contrast, re-merges every member's latest snapshot: correct for
+// cumulative collection, double-counting for reset-mode windows.
+func TestDrainRoundExactlyOnce(t *testing.T) {
+	agg, err := NewAggregator(AggregatorConfig{
+		Members:     []PollerConfig{{Addr: "a"}, {Addr: "b"}},
+		Interval:    time.Second,
+		TrackRounds: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSketch := func() *core.Sketch {
+		s, err := core.New(core.Config{
+			K: 4, Trees: 2, LeafWidth: 256, Widths: []int{8, 16, 32},
+			Hash: hashing.NewBobFamily(42),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	intervalSnap := func(flow, n uint64) *Snapshot {
+		s := newSketch()
+		s.Update(k(flow), n)
+		return TakeSnapshot(s)
+	}
+
+	// Round 1: both members report one interval of traffic.
+	if err := agg.storeMember("a", intervalSnap(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.storeMember("b", intervalSnap(2, 7)); err != nil {
+		t.Fatal(err)
+	}
+	r1 := agg.DrainRound()
+	if r1 == nil {
+		t.Fatal("round 1 drained nil with two pending snapshots")
+	}
+
+	// Round 2: only member a reports (b's poll failed).
+	if err := agg.storeMember("a", intervalSnap(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	r2 := agg.DrainRound()
+	if r2 == nil {
+		t.Fatal("round 2 drained nil with one pending snapshot")
+	}
+	onlyA2 := newSketch()
+	onlyA2.Update(k(1), 3)
+	if !sketchesEqual(r2, onlyA2) {
+		t.Fatal("round 2 is not bit-identical to member a's interval alone: a missed poll re-contributed stale traffic")
+	}
+
+	// The concatenation of drained rounds == serial ingest of every
+	// member interval exactly once (merge is exact, §5).
+	serial := newSketch()
+	serial.Update(k(1), 5)
+	serial.Update(k(2), 7)
+	serial.Update(k(1), 3)
+	folded := r1.Clone()
+	if err := folded.Merge(r2); err != nil {
+		t.Fatal(err)
+	}
+	if !sketchesEqual(folded, serial) {
+		t.Fatal("merged drained rounds diverge from serial re-ingest of all member intervals")
+	}
+
+	// Round 3: nobody reported — nothing to file.
+	if got := agg.DrainRound(); got != nil {
+		t.Fatalf("round 3 drained %v, want nil (no member reported)", got)
+	}
+
+	// Without TrackRounds nothing is retained.
+	plain, err := NewAggregator(AggregatorConfig{
+		Members:  []PollerConfig{{Addr: "a"}},
+		Interval: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.storeMember("a", intervalSnap(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if plain.DrainRound() != nil {
+		t.Fatal("DrainRound returned a sketch without TrackRounds")
+	}
+}

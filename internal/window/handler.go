@@ -50,47 +50,60 @@ func Handler(r *Ring) http.Handler {
 			serveFrames(w, r, lb)
 			return
 		}
-		resp := QueryResponse{Buckets: r.Buckets()}
-		card, cov, err := r.CardinalityOverTime(lb)
-		switch err {
-		case nil:
-			resp.Cardinality = card
-			resp.Coverage = cov
-		case ErrEmpty:
-			resp.Coverage = cov
-		default:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		if keyHex := req.URL.Query().Get("key"); keyHex != "" && err == nil {
-			key, decErr := hex.DecodeString(keyHex)
-			if decErr != nil {
-				http.Error(w, "bad key hex: "+decErr.Error(), http.StatusBadRequest)
+		// Validate the optional parameters before folding anything.
+		var key []byte
+		keyHex := req.URL.Query().Get("key")
+		if keyHex != "" {
+			key, err = hex.DecodeString(keyHex)
+			if err != nil {
+				http.Error(w, "bad key hex: "+err.Error(), http.StatusBadRequest)
 				return
 			}
-			est, _, qErr := r.QueryOverTime(key, lb)
-			if qErr == nil {
-				resp.Key = keyHex
-				resp.Estimate = &est
-			}
 		}
-		if emStr := req.URL.Query().Get("em"); emStr != "" && err == nil {
-			iters, convErr := strconv.Atoi(emStr)
-			if convErr != nil || iters < 1 || iters > 64 {
+		emIters := 0
+		if emStr := req.URL.Query().Get("em"); emStr != "" {
+			emIters, err = strconv.Atoi(emStr)
+			if err != nil || emIters < 1 || emIters > 64 {
 				http.Error(w, "em must be 1..64 iterations", http.StatusBadRequest)
 				return
 			}
-			dist, _, emErr := r.FSDOverTime(lb, &fcm.EMOptions{Iterations: iters})
-			if emErr != nil {
-				http.Error(w, emErr.Error(), http.StatusInternalServerError)
-				return
+		}
+		// One fold answers every field: cardinality, the per-key estimate
+		// and the EM distribution all derive from the same covering-bucket
+		// set, so the response is internally consistent even when a Rotate
+		// races the request — and the O(log n) fold cost is paid once, not
+		// once per field.
+		resp := QueryResponse{Buckets: r.Buckets()}
+		sk, cov, err := r.fold(lb)
+		resp.Coverage = cov
+		switch {
+		case err == nil:
+			resp.Cardinality = sk.Cardinality()
+			if key != nil {
+				est := sk.Estimate(key)
+				resp.Key = keyHex
+				resp.Estimate = &est
 			}
-			h := fcm.EntropyOf(dist)
-			resp.Entropy = &h
-			if len(dist) > 17 {
-				dist = dist[:17]
+			if emIters > 0 {
+				dist, emErr := fsdOf(sk, &fcm.EMOptions{Iterations: emIters})
+				if emErr != nil {
+					r.release(sk)
+					http.Error(w, emErr.Error(), http.StatusInternalServerError)
+					return
+				}
+				h := fcm.EntropyOf(dist)
+				resp.Entropy = &h
+				if len(dist) > 17 {
+					dist = dist[:17]
+				}
+				resp.FSDHead = dist
 			}
-			resp.FSDHead = dist
+			r.release(sk)
+		case err == ErrEmpty:
+			// Coverage and ring occupancy still describe the (empty) ring.
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(resp); err != nil {

@@ -209,7 +209,9 @@ type Ring struct {
 	liveStart time.Time
 
 	// scratch pools fold targets so steady-state queries allocate no
-	// sketch state. Entries always share the ring's geometry.
+	// sketch state. A collector ring can adopt a new geometry once
+	// retention has emptied it, so scratchFor verifies each pooled entry
+	// against the fold's model sketch and discards stale ones.
 	scratch sync.Pool
 
 	rotations      atomic.Uint64
@@ -566,11 +568,13 @@ func (r *Ring) fold(lb Lookback) (*core.Sketch, Coverage, error) {
 	sk := r.scratchFor(model)
 	for _, b := range covering {
 		if err := sk.Merge(b.sk); err != nil {
+			r.release(sk)
 			return nil, cov, fmt.Errorf("window: folding bucket [%d,%d]: %w", b.firstGen, b.lastGen, err)
 		}
 	}
 	if liveCore != nil {
 		if err := sk.Merge(liveCore); err != nil {
+			r.release(sk)
 			return nil, cov, fmt.Errorf("window: folding live window: %w", err)
 		}
 	}
@@ -578,12 +582,23 @@ func (r *Ring) fold(lb Lookback) (*core.Sketch, Coverage, error) {
 }
 
 // scratchFor returns a cleared scratch sketch sharing model's geometry,
-// from the pool when possible.
+// from the pool when possible. Pooled entries are verified against the
+// model: after a collector-mode geometry change (FileWindow adopts a new
+// shape once retention empties the ring) the pool can still hold
+// old-geometry sketches, and reusing one would fail every fold until the
+// pool happened to drain.
 func (r *Ring) scratchFor(model *core.Sketch) *core.Sketch {
-	if v := r.scratch.Get(); v != nil {
+	for {
+		v := r.scratch.Get()
+		if v == nil {
+			break
+		}
 		sk := v.(*core.Sketch)
-		sk.Reset()
-		return sk
+		if describeIncompatible(model, sk) == "" {
+			sk.Reset()
+			return sk
+		}
+		// Stale geometry: drop it and try the next pooled entry.
 	}
 	sk := model.Clone()
 	sk.Reset()
@@ -657,22 +672,33 @@ func (r *Ring) FSDOverTime(lb Lookback, opt *fcm.EMOptions) ([]float64, Coverage
 	if err != nil {
 		return nil, cov, err
 	}
+	dist, runErr := fsdOf(sk, opt)
+	r.release(sk)
+	if runErr != nil {
+		return nil, cov, runErr
+	}
+	return dist, cov, nil
+}
+
+// fsdOf runs the control-plane EM estimator over an already-folded sketch
+// — shared by FSDOverTime and the HTTP handler, which derives every field
+// of one response from a single fold.
+func fsdOf(sk *core.Sketch, opt *fcm.EMOptions) ([]float64, error) {
 	var o fcm.EMOptions
 	if opt != nil {
 		o = *opt
 	}
-	res, runErr := em.Run(em.Config{
+	res, err := em.Run(em.Config{
 		W1:          sk.LeafWidth(),
 		Theta1:      sk.StageMax(0),
 		Iterations:  o.Iterations,
 		Workers:     o.Workers,
 		OnIteration: o.OnIteration,
 	}, sk.VirtualCounters())
-	r.release(sk)
-	if runErr != nil {
-		return nil, cov, fmt.Errorf("window: %w", runErr)
+	if err != nil {
+		return nil, fmt.Errorf("window: %w", err)
 	}
-	return res.Dist, cov, nil
+	return res.Dist, nil
 }
 
 // EntropyOverTime estimates the flow entropy of the lookback from the EM

@@ -150,6 +150,38 @@ func TestCollectorRejectsGeometryDrift(t *testing.T) {
 	}
 }
 
+// TestScratchPoolDiscardsStaleGeometry pins the fold path against stale
+// pooled scratch sketches: if the pool holds a sketch of a different
+// geometry (a collector ring that adopted a new shape, or any other
+// poisoning), scratchFor must discard it and fall back to cloning the
+// model instead of failing every query until the pool drains.
+func TestScratchPoolDiscardsStaleGeometry(t *testing.T) {
+	r := NewCollector(Config{BucketDuration: time.Second, Now: testClock()})
+	a, err := fcm.NewSketch(fcm.Config{LeafWidth: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Update(key(7), 3)
+	now := time.Unix(1_700_000_000, 0)
+	if err := r.FileWindow(a.Core(), now, now.Add(time.Second), 3); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := fcm.NewSketch(fcm.Config{LeafWidth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.scratch.Put(stale.Core())
+	for i := 0; i < 2; i++ { // second query exercises the repopulated pool
+		est, cov, err := r.QueryOverTime(key(7), LastWindows(0))
+		if err != nil {
+			t.Fatalf("query %d with stale pooled scratch: %v", i, err)
+		}
+		if est != 3 || cov.Windows != 1 {
+			t.Fatalf("query %d: estimate %d coverage %+v, want 3 over 1 window", i, est, cov)
+		}
+	}
+}
+
 // TestRetentionDropsOldestWindows pins the retention bound: with
 // MaxWindows retained, older windows coarsen and then fall off, the drop
 // counter advances, and Coverage reports the truncated range honestly.
